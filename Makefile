@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt repro examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+fmt:
+	gofmt -w .
+
+# Full-scale reproduction of every table and figure (≈ minutes).
+repro:
+	$(GO) run ./cmd/hexpaper -exp all -runs 250 | tee paper_results.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/selfstabilization
+	$(GO) run ./examples/treecompare
+	$(GO) run ./examples/freqmult
+	$(GO) run ./examples/endtoend
+
+clean:
+	rm -f test_output.txt bench_output.txt

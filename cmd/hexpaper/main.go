@@ -1,0 +1,176 @@
+// Command hexpaper regenerates the tables and figures of the paper's
+// evaluation (Section 4) plus the extension and ablation experiments.
+//
+// Usage:
+//
+//	hexpaper -exp table1                 # one experiment at paper scale
+//	hexpaper -exp all -runs 50           # everything, reduced run count
+//	hexpaper -list
+//
+// Experiments: table1 table2 table3, fig5 fig8–fig21 (the paper's
+// evaluation, incl. fig15-crash/fig16-crash fail-silent variants),
+// treecompare hexplus gradient embedding endtoend ringosc scaling gals
+// brokenwires (extensions and baselines), and ablation-guard
+// ablation-epsilon ablation-linktimeouts. Use -json for machine-readable
+// output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+type runner func(experiment.Options) (string, map[string]float64, error)
+
+func figRunner(f func(experiment.Options) (*experiment.FigResult, error)) runner {
+	return func(o experiment.Options) (string, map[string]float64, error) {
+		fig, err := f(o)
+		if err != nil {
+			return "", nil, err
+		}
+		return fig.Render(), fig.Data, nil
+	}
+}
+
+var experiments = map[string]runner{
+	"table1": func(o experiment.Options) (string, map[string]float64, error) {
+		t, err := experiment.Table1(o)
+		if err != nil {
+			return "", nil, err
+		}
+		return t.String(), nil, nil
+	},
+	"table2": func(o experiment.Options) (string, map[string]float64, error) {
+		t, err := experiment.Table2(o)
+		if err != nil {
+			return "", nil, err
+		}
+		return t.String(), nil, nil
+	},
+	"table3": func(o experiment.Options) (string, map[string]float64, error) {
+		t, _, err := experiment.Table3(o, 5)
+		if err != nil {
+			return "", nil, err
+		}
+		return t.String(), nil, nil
+	},
+	"fig5":             figRunner(experiment.Fig5),
+	"fig8":             figRunner(experiment.Fig8),
+	"fig9":             figRunner(experiment.Fig9),
+	"fig10":            figRunner(experiment.Fig10),
+	"fig11":            figRunner(experiment.Fig11),
+	"fig12":            figRunner(experiment.Fig12),
+	"fig13":            figRunner(experiment.Fig13),
+	"fig14":            figRunner(experiment.Fig14),
+	"fig15":            figRunner(experiment.Fig15),
+	"fig15-crash":      figRunner(experiment.Fig15Crash),
+	"fig16":            figRunner(experiment.Fig16),
+	"fig16-crash":      figRunner(experiment.Fig16Crash),
+	"fig17":            figRunner(experiment.Fig17),
+	"fig18":            figRunner(experiment.Fig18),
+	"fig19":            figRunner(experiment.Fig19),
+	"fig20":            figRunner(experiment.Fig20),
+	"fig21":            figRunner(experiment.Fig21),
+	"treecompare":      figRunner(experiment.TreeCompare),
+	"hexplus":          figRunner(experiment.ExtensionHexPlus),
+	"gradient":         figRunner(experiment.GradientSkew),
+	"embedding":        figRunner(experiment.EmbeddingComparison),
+	"endtoend":         figRunner(experiment.EndToEnd),
+	"ringosc":          figRunner(experiment.RingOscCompare),
+	"scaling":          figRunner(experiment.Scaling),
+	"gals":             figRunner(experiment.GALS),
+	"brokenwires":      figRunner(experiment.BrokenWires),
+	"ablation-guard":   figRunner(experiment.AblationGuard),
+	"ablation-epsilon": figRunner(experiment.AblationEpsilon),
+	"ablation-linktimeouts": func(o experiment.Options) (string, map[string]float64, error) {
+		fig, err := experiment.AblationLinkTimeouts(o, 2)
+		if err != nil {
+			return "", nil, err
+		}
+		return fig.Render(), fig.Data, nil
+	},
+}
+
+// order lists experiments in the paper's presentation order for -exp all.
+var order = []string{
+	"fig8", "fig9", "table1", "fig10", "fig11", "fig12", "fig5",
+	"table2", "fig13", "fig14", "fig15", "fig16", "fig15-crash", "fig16-crash", "fig17",
+	"table3", "fig18", "fig19",
+	"fig20", "fig21", "treecompare", "hexplus", "gradient", "embedding", "endtoend", "ringosc", "scaling", "gals", "brokenwires",
+	"ablation-guard", "ablation-epsilon", "ablation-linktimeouts",
+}
+
+// jsonResult is the machine-readable output of one experiment (-json).
+type jsonResult struct {
+	ID      string             `json:"id"`
+	Seconds float64            `json:"seconds"`
+	Data    map[string]float64 `json:"data,omitempty"`
+	Text    string             `json:"text"`
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (or 'all')")
+		runs    = flag.Int("runs", 0, "runs per data point (0 = paper's 250)")
+		l       = flag.Int("L", 0, "grid length (0 = paper's 50)")
+		w       = flag.Int("W", 0, "grid width (0 = paper's 20)")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		list    = flag.Bool("list", false, "list experiment ids")
+		jsonOut = flag.Bool("json", false, "emit one JSON object per experiment instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(experiments))
+		for id := range experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: hexpaper -exp <id>|all [-runs N] [-L n] [-W n] [-seed n]; -list for ids")
+		os.Exit(2)
+	}
+
+	o := experiment.Options{L: *l, W: *w, Runs: *runs, Seed: *seed}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		run, ok := experiments[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hexpaper: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		out, data, err := run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hexpaper: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			if err := enc.Encode(jsonResult{
+				ID:      id,
+				Seconds: time.Since(start).Seconds(),
+				Data:    data,
+				Text:    out,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "hexpaper: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Printf("### %s (%.1fs)\n\n%s\n", id, time.Since(start).Seconds(), out)
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+// TestOrderCoversRegistry ensures -exp all runs every registered
+// experiment and that every id in the order list resolves.
+func TestOrderCoversRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, id := range order {
+		if _, ok := experiments[id]; !ok {
+			t.Errorf("order lists unknown experiment %q", id)
+		}
+		if seen[id] {
+			t.Errorf("order lists %q twice", id)
+		}
+		seen[id] = true
+	}
+	for id := range experiments {
+		if !seen[id] {
+			t.Errorf("experiment %q missing from -exp all order", id)
+		}
+	}
+}

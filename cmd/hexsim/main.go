@@ -1,0 +1,104 @@
+// Command hexsim runs a single HEX pulse simulation and prints the wave and
+// its skew statistics.
+//
+// Usage:
+//
+//	hexsim -L 50 -W 20 -scenario iii -faults 2 -fault-type byzantine -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/fault"
+	"repro/internal/render"
+	"repro/internal/source"
+	"repro/internal/stats"
+
+	hex "repro"
+)
+
+func main() {
+	var (
+		l         = flag.Int("L", 50, "grid length (layers 0..L)")
+		w         = flag.Int("W", 20, "grid width (columns)")
+		scenario  = flag.String("scenario", "i", "layer-0 skew scenario: i|ii|iii|iv (or zero|udminus|udplus|ramp)")
+		faults    = flag.Int("faults", 0, "number of faulty nodes (random placement under Condition 1)")
+		faultType = flag.String("fault-type", "byzantine", "fault type: byzantine|fail-silent")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		heat      = flag.Bool("heat", true, "print the wave heat map")
+		layers    = flag.Bool("layers", false, "print per-layer trigger time table")
+		csv       = flag.Bool("csv", false, "print the wave as CSV (layer,column,time_ns,status) and exit")
+		svg       = flag.Bool("svg", false, "print the wave as an SVG heat map and exit")
+		plus      = flag.Bool("plus", false, "use the HEX+ augmented topology (Section 5)")
+	)
+	flag.Parse()
+
+	sc, err := source.Parse(*scenario)
+	if err != nil {
+		fail(err)
+	}
+	g, err := hex.NewGrid(*l, *w)
+	if *plus {
+		g, err = hex.NewGridPlus(*l, *w)
+	}
+	if err != nil {
+		fail(err)
+	}
+	plan := hex.NewFaultPlan(g)
+	if *faults > 0 {
+		var behavior fault.Behavior
+		switch *faultType {
+		case "byzantine":
+			behavior = hex.Byzantine
+		case "fail-silent", "failsilent", "crash":
+			behavior = hex.FailSilent
+		default:
+			fail(fmt.Errorf("unknown fault type %q", *faultType))
+		}
+		placed, err := hex.PlaceRandomFaults(g, plan, *faults, behavior, hex.NewRNG(*seed))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("faulty nodes (%s): %s\n", behavior, render.Mark(g, placed))
+	}
+
+	rep, err := hex.RunPulse(hex.PulseConfig{Grid: g, Scenario: sc, Faults: plan, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	if *csv {
+		fmt.Print(render.WaveCSV(rep.Wave, g))
+		return
+	}
+	if *svg {
+		fmt.Print(render.WaveSVG(rep.Wave, g, 10))
+		return
+	}
+	if *heat {
+		fmt.Println(render.WaveHeat(rep.Wave, 0))
+	}
+	if *layers {
+		fmt.Println(render.WaveLayerSeries(rep.Wave, "per-layer trigger times"))
+	}
+	fmt.Printf("grid %dx%d, scenario (%s), seed %d\n", *l, *w, sc.Name(), *seed)
+	printSummary("intra-layer skew [ns]", rep.IntraSummary)
+	printSummary("inter-layer skew [ns]", rep.InterSummary)
+
+	delta0 := analysis.SkewPotential(rep.Wave, g, 0, hex.PaperBounds.Min)
+	bound := hex.Theorem1Bound(*l, *w, hex.PaperBounds, delta0)
+	fmt.Printf("layer-0 skew potential Δ0 = %v; Theorem 1 bound on σ = %v\n", delta0, bound)
+	fmt.Printf("events executed: %d\n", rep.Result.Events)
+}
+
+func printSummary(label string, s stats.Summary) {
+	fmt.Printf("%-24s min=%.3f q5=%.3f avg=%.3f q95=%.3f max=%.3f (n=%d)\n",
+		label, s.Min, s.Q5, s.Avg, s.Q95, s.Max, s.N)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hexsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// Command hextree runs the HEX vs. clock-tree comparison behind the
+// paper's title claim: neighbor wire length, neighbor skew, and the blast
+// radius of a single fault, as functions of system size.
+//
+// Usage:
+//
+//	hextree -runs 50 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		runs = flag.Int("runs", 50, "runs per size")
+		seed = flag.Uint64("seed", 1, "master seed")
+	)
+	flag.Parse()
+
+	fig, err := experiment.TreeCompare(experiment.Options{Runs: *runs * 5, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hextree:", err)
+		os.Exit(1)
+	}
+	fmt.Println(fig.Render())
+}

@@ -1,0 +1,79 @@
+package hex_test
+
+import (
+	"fmt"
+
+	hex "repro"
+)
+
+// The basic workflow: build the paper's grid, run one pulse, inspect the
+// neighbor skews.
+func Example() {
+	g, err := hex.NewGrid(50, 20)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := hex.RunPulse(hex.PulseConfig{Grid: g, Scenario: hex.ScenarioZero, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nodes triggered:", rep.Wave.TriggeredCount())
+	fmt.Println("all forwarders fired:", rep.Wave.AllForwardersTriggered())
+	// Output:
+	// nodes triggered: 1020
+	// all forwarders fired: true
+}
+
+// Theorem 1's worst-case bound for the paper's parameters.
+func ExampleTheorem1Bound() {
+	bound := hex.Theorem1Bound(50, 20, hex.PaperBounds, 0)
+	fmt.Println(bound)
+	// Output:
+	// 11.305ns
+}
+
+// Condition 2's self-stabilization timeouts for a stable skew of 30 ns.
+func ExampleCondition2() {
+	to := hex.Condition2(30*hex.Nanosecond, hex.PaperBounds, 50, 5, hex.PaperDrift)
+	fmt.Println("T-link: ", to.TLinkMin)
+	fmt.Println("T+link: ", to.TLinkMax)
+	fmt.Println("T-sleep:", to.TSleepMin)
+	// Output:
+	// T-link:  31.036ns
+	// T+link:  32.588ns
+	// T-sleep: 81.57ns
+}
+
+// Injecting Byzantine faults under the paper's separation Condition 1.
+func ExamplePlaceRandomFaults() {
+	g, _ := hex.NewGrid(20, 12)
+	plan := hex.NewFaultPlan(g)
+	placed, err := hex.PlaceRandomFaults(g, plan, 3, hex.Byzantine, hex.NewRNG(5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("faults placed:", len(placed))
+	rep, _ := hex.RunPulse(hex.PulseConfig{Grid: g, Faults: plan, Seed: 5})
+	fmt.Println("correct nodes triggered:", rep.Wave.TriggeredCount() == g.NumNodes()-3)
+	// Output:
+	// faults placed: 3
+	// correct nodes triggered: true
+}
+
+// Self-stabilization from arbitrary initial states.
+func ExampleRunStabilization() {
+	g, _ := hex.NewGrid(10, 8)
+	to := hex.Condition2(4*hex.PaperBounds.Max, hex.PaperBounds, g.L, 0, hex.PaperDrift)
+	rep, err := hex.RunStabilization(hex.StabilizationConfig{
+		Grid:     g,
+		Scenario: hex.ScenarioUniformDPlus,
+		Timeouts: to,
+		Seed:     3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("stabilized within Theorem 2's bound:", rep.StabilizedAt > 0 && rep.StabilizedAt <= g.L+1)
+	// Output:
+	// stabilized within Theorem 2's bound: true
+}

@@ -1,0 +1,65 @@
+// Self-stabilization: start every node in an arbitrary state of its state
+// machines (random memory flags with residual link timers, random residual
+// sleep), feed a pulse train with Condition 2 timeouts, and report when the
+// grid's skews settle — the experiment behind the paper's Figs. 18–19.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hex "repro"
+)
+
+func main() {
+	g, err := hex.NewGrid(50, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Condition 2 timeouts for a stable skew of σ = 4d+ (a comfortable
+	// bound per Table 2) with up to 2 Byzantine faults.
+	sigma := 4 * hex.PaperBounds.Max
+	to := hex.Condition2(sigma, hex.PaperBounds, g.L, 2, hex.PaperDrift)
+	fmt.Println("HEX self-stabilization from arbitrary initial states")
+	fmt.Printf("  Condition 2: T-link=[%v, %v]  T-sleep=[%v, %v]  S=%v\n",
+		to.TLinkMin, to.TLinkMax, to.TSleepMin, to.TSleepMax, to.Separation)
+	fmt.Printf("  worst-case bound (Theorem 2): stable within %d pulses\n\n", g.L+1)
+
+	for _, faults := range []int{0, 2} {
+		stabilizedAt := map[int]int{}
+		const runs = 25
+		for seed := uint64(0); seed < runs; seed++ {
+			plan := hex.NewFaultPlan(g)
+			if faults > 0 {
+				if _, err := hex.PlaceRandomFaults(g, plan, faults, hex.Byzantine, hex.NewRNG(seed)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			rep, err := hex.RunStabilization(hex.StabilizationConfig{
+				Grid:     g,
+				Scenario: hex.ScenarioUniformDPlus,
+				Pulses:   10,
+				Timeouts: to,
+				Faults:   plan,
+				Seed:     seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			stabilizedAt[rep.StabilizedAt]++
+		}
+		fmt.Printf("f=%d Byzantine faults, %d runs, stabilization pulse histogram:\n", faults, runs)
+		for pulse := 1; pulse <= 10; pulse++ {
+			if c := stabilizedAt[pulse]; c > 0 {
+				fmt.Printf("  pulse %2d: %d runs\n", pulse, c)
+			}
+		}
+		if c := stabilizedAt[0]; c > 0 {
+			fmt.Printf("  not stabilized within 10 pulses: %d runs\n", c)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(pulse 1 starts amid the initial chaos; settling by pulse 2 matches")
+	fmt.Println(" the paper's 'reliably stabilizes within two clock pulses'.)")
+}

@@ -1,0 +1,326 @@
+// Package hex is a library reproduction of "HEX: Scaling honeycombs is
+// easier than scaling clock trees" (Dolev, Függer, Lenzen, Perner, Schmid;
+// SPAA 2013 / JCSS 2016): a Byzantine fault-tolerant, self-stabilizing
+// clock distribution scheme on a cylindric hexagonal grid.
+//
+// The package is a facade over the implementation packages:
+//
+//   - grid construction (the HEX topology of Fig. 1),
+//   - the HEX pulse forwarding algorithm (Algorithm 1) executed on a
+//     deterministic discrete-event simulator,
+//   - layer-0 skew scenarios, delay models and fault plans,
+//   - skew analysis (Definition 3), self-stabilization estimation, and the
+//     paper's closed-form bounds (Theorem 1, Lemma 5, Condition 2).
+//
+// Quick start:
+//
+//	g, _ := hex.NewGrid(50, 20)
+//	rep, _ := hex.RunPulse(hex.PulseConfig{Grid: g, Scenario: hex.ScenarioUniformDPlus, Seed: 7})
+//	fmt.Println(rep.IntraSummary)
+package hex
+
+import (
+	"errors"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/stats"
+	"repro/internal/theory"
+)
+
+// Re-exported core types. Aliases expose the internal implementations as
+// the public API surface.
+type (
+	// Time is a simulated instant or duration in integer picoseconds.
+	Time = sim.Time
+	// Bounds is the link delay interval [d−, d+].
+	Bounds = delay.Bounds
+	// Params are the HEX algorithm parameters (timeouts, guard).
+	Params = core.Params
+	// Scenario selects the layer-0 skew pattern of Section 4.2.
+	Scenario = source.Scenario
+	// Grid is the cylindric hexagonal grid of Fig. 1.
+	Grid = grid.Hex
+	// Graph is the generic layered communication graph HEX runs on.
+	Graph = grid.Graph
+	// FaultPlan assigns Byzantine/fail-silent behaviors to nodes and links.
+	FaultPlan = fault.Plan
+	// Wave is a triggering-time matrix of one pulse with skew accessors.
+	Wave = analysis.Wave
+	// Result is a raw simulation outcome (trigger histories).
+	Result = core.Result
+	// Summary is the {min, q5, avg, q95, max} statistic set of the paper.
+	Summary = stats.Summary
+	// Timeouts are Condition 2's self-stabilization parameters.
+	Timeouts = theory.Timeouts
+	// Drift is the clock drift bound ϑ as a rational.
+	Drift = theory.Drift
+	// DelayModel assigns per-message link delays.
+	DelayModel = delay.Model
+	// Schedule is a multi-pulse layer-0 firing plan.
+	Schedule = source.Schedule
+	// RNG is the deterministic random generator used throughout.
+	RNG = sim.RNG
+)
+
+// Layer-0 skew scenarios (Table 1's (i)–(iv)).
+const (
+	ScenarioZero          = source.Zero
+	ScenarioUniformDMinus = source.UniformDMinus
+	ScenarioUniformDPlus  = source.UniformDPlus
+	ScenarioRamp          = source.Ramp
+)
+
+// Failure modes.
+const (
+	Correct    = fault.Correct
+	FailSilent = fault.FailSilent
+	Byzantine  = fault.Byzantine
+)
+
+// Convenient time units.
+const (
+	Picosecond = sim.Picosecond
+	Nanosecond = sim.Nanosecond
+)
+
+// PaperBounds is the delay interval used throughout the paper's evaluation:
+// [7.161, 8.197] ns, ε = 1.036 ns.
+var PaperBounds = delay.Paper
+
+// errNilGrid is returned by the Run functions when the config lacks a grid.
+var errNilGrid = errors.New("hex: Config.Grid is required; construct one with NewGrid")
+
+// PaperDrift is the ϑ = 1.05 drift bound of the paper's experiments.
+var PaperDrift = theory.PaperDrift
+
+// NewGrid constructs a HEX grid with layers 0..L and W columns.
+func NewGrid(L, W int) (*Grid, error) { return grid.NewHex(L, W) }
+
+// DefaultParams returns algorithm parameters suitable for single-pulse
+// experiments with the paper's delay interval.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewFaultPlan returns an all-correct fault plan for g.
+func NewFaultPlan(g *Grid) *FaultPlan { return fault.NewPlan(g.NumNodes()) }
+
+// PlaceRandomFaults marks f uniformly random nodes of g with the given
+// behavior such that Condition 1 (fault separation) holds, randomizing
+// Byzantine per-link outputs. It returns the chosen node ids.
+func PlaceRandomFaults(g *Grid, plan *FaultPlan, f int, behavior fault.Behavior, rng *RNG) ([]int, error) {
+	placed, err := fault.PlaceRandom(g.Graph, f, nil, rng, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range placed {
+		plan.SetBehavior(n, behavior)
+	}
+	if behavior == fault.Byzantine {
+		plan.RandomizeByzantine(g.Graph, rng)
+	}
+	return placed, nil
+}
+
+// NewRNG returns a deterministic random generator.
+func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// PulseConfig configures a single-pulse simulation.
+type PulseConfig struct {
+	// Grid is required.
+	Grid *Grid
+	// Scenario selects the layer-0 skews (default ScenarioZero); Offsets,
+	// if non-nil, overrides it with explicit layer-0 triggering times.
+	Scenario Scenario
+	Offsets  []Time
+	// Params defaults to DefaultParams.
+	Params Params
+	// Bounds defaults to PaperBounds; ignored if Delay is set.
+	Bounds Bounds
+	// Delay overrides the uniform-random delay model.
+	Delay DelayModel
+	// Faults defaults to fault-free.
+	Faults *FaultPlan
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// PulseReport is the outcome of RunPulse.
+type PulseReport struct {
+	Wave   *Wave
+	Result *Result
+	// IntraSummary/InterSummary summarize the neighbor skews (ns) of this
+	// pulse per Definition 3 and Section 4.1.
+	IntraSummary Summary
+	InterSummary Summary
+}
+
+// RunPulse propagates one pulse through the grid and reports its skews.
+func RunPulse(cfg PulseConfig) (*PulseReport, error) {
+	if cfg.Grid == nil {
+		return nil, errNilGrid
+	}
+	if cfg.Bounds == (Bounds{}) {
+		cfg.Bounds = PaperBounds
+	}
+	if cfg.Params == (Params{}) {
+		cfg.Params = DefaultParams()
+		cfg.Params.Bounds = cfg.Bounds
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = delay.Uniform{Bounds: cfg.Bounds}
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = fault.NewPlan(cfg.Grid.NumNodes())
+	}
+	offsets := cfg.Offsets
+	if offsets == nil {
+		offsets = source.Offsets(cfg.Scenario, cfg.Grid.W, cfg.Bounds,
+			sim.NewRNG(sim.DeriveSeed(cfg.Seed, "offsets")))
+	}
+	res, err := core.Run(core.Config{
+		Graph:    cfg.Grid.Graph,
+		Params:   cfg.Params,
+		Delay:    cfg.Delay,
+		Faults:   cfg.Faults,
+		Schedule: source.SinglePulse(offsets),
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	wave := analysis.WaveFromResult(cfg.Grid.Graph, res, cfg.Faults, 0)
+	return &PulseReport{
+		Wave:         wave,
+		Result:       res,
+		IntraSummary: stats.Summarize(wave.IntraSkews()),
+		InterSummary: stats.Summarize(wave.InterSkews()),
+	}, nil
+}
+
+// StabilizationConfig configures a multi-pulse run from arbitrary initial
+// states.
+type StabilizationConfig struct {
+	Grid *Grid
+	// Scenario selects the per-pulse layer-0 skews.
+	Scenario Scenario
+	// Pulses is the number of pulses to generate (default 10).
+	Pulses int
+	// Timeouts are the Condition 2 parameters; derive them with
+	// Condition2. Required.
+	Timeouts Timeouts
+	// Bounds defaults to PaperBounds.
+	Bounds Bounds
+	// Faults defaults to fault-free.
+	Faults *FaultPlan
+	Seed   uint64
+}
+
+// StabilizationReport is the outcome of RunStabilization.
+type StabilizationReport struct {
+	Result *Result
+	// Assignment windows the trigger histories into per-pulse waves.
+	Assignment *analysis.PulseAssignment
+	// StabilizedAt is the 1-based pulse from which all observed pulses
+	// satisfied the σ(f,ℓ) = 2d+ threshold; 0 if never.
+	StabilizedAt int
+}
+
+// RunStabilization starts every node in an arbitrary state and forwards a
+// pulse train, reporting when the grid's skews settle.
+func RunStabilization(cfg StabilizationConfig) (*StabilizationReport, error) {
+	if cfg.Grid == nil {
+		return nil, errNilGrid
+	}
+	if cfg.Timeouts == (Timeouts{}) {
+		return nil, errors.New("hex: StabilizationConfig.Timeouts is required; derive it with Condition2")
+	}
+	if cfg.Bounds == (Bounds{}) {
+		cfg.Bounds = PaperBounds
+	}
+	if cfg.Pulses == 0 {
+		cfg.Pulses = 10
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = fault.NewPlan(cfg.Grid.NumNodes())
+	}
+	sched := source.NewSchedule(cfg.Scenario, cfg.Grid.W, cfg.Pulses, cfg.Bounds,
+		cfg.Timeouts.Separation, sim.NewRNG(sim.DeriveSeed(cfg.Seed, "sched")))
+	res, err := core.Run(core.Config{
+		Graph: cfg.Grid.Graph,
+		Params: Params{
+			Bounds:    cfg.Bounds,
+			TLinkMin:  cfg.Timeouts.TLinkMin,
+			TLinkMax:  cfg.Timeouts.TLinkMax,
+			TSleepMin: cfg.Timeouts.TSleepMin,
+			TSleepMax: cfg.Timeouts.TSleepMax,
+		},
+		Delay:      delay.Uniform{Bounds: cfg.Bounds},
+		Faults:     cfg.Faults,
+		Schedule:   sched,
+		RandomInit: true,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pa := analysis.AssignPulses(cfg.Grid.Graph, res, cfg.Faults, sched, cfg.Bounds)
+	th := analysis.ThresholdsFromSigma(analysis.ConstantSigma(2*cfg.Bounds.Max), cfg.Bounds)
+	rep := &StabilizationReport{Result: res, Assignment: pa}
+	if k, ok := pa.StabilizationPulse(th); ok {
+		rep.StabilizedAt = k + 1
+	}
+	return rep, nil
+}
+
+// Theorem1Bound returns the worst-case intra-layer skew bound of Theorem 1
+// for layer l of a width-w grid with layer-0 skew potential delta0.
+func Theorem1Bound(l, w int, b Bounds, delta0 Time) Time {
+	return theory.Theorem1IntraBound(l, w, b, delta0)
+}
+
+// Lemma5Bound returns the coarse pulse skew bound of Lemma 5.
+func Lemma5Bound(spread Time, L, f int, b Bounds) Time {
+	return theory.Lemma5PulseSkewBound(spread, L, f, b)
+}
+
+// Condition2 computes the self-stabilization timeouts of Condition 2 for a
+// stable skew σ, grid length L, f faults, and drift ϑ.
+func Condition2(sigma Time, b Bounds, L, f int, theta Drift) Timeouts {
+	return theory.Condition2(sigma, b, L, f, theta)
+}
+
+// RunPulseTrain forwards an explicit multi-pulse layer-0 schedule (for
+// example one produced by a pulse generation network) through the grid,
+// with the algorithm parameters taken from Condition 2 timeouts.
+func RunPulseTrain(g *Grid, plan *FaultPlan, sched *Schedule, to Timeouts, seed uint64) (*Result, error) {
+	if g == nil {
+		return nil, errNilGrid
+	}
+	if plan == nil {
+		plan = fault.NewPlan(g.NumNodes())
+	}
+	return core.Run(core.Config{
+		Graph: g.Graph,
+		Params: Params{
+			Bounds:    PaperBounds,
+			TLinkMin:  to.TLinkMin,
+			TLinkMax:  to.TLinkMax,
+			TSleepMin: to.TSleepMin,
+			TSleepMax: to.TSleepMax,
+		},
+		Delay:    delay.Uniform{Bounds: PaperBounds},
+		Faults:   plan,
+		Schedule: sched,
+		Seed:     seed,
+	})
+}
+
+// NewGridPlus constructs the augmented HEX+ topology of Section 5: every
+// node receives from two additional lower in-neighbors, which removes the
+// fault-induced skew growth of the plain grid.
+func NewGridPlus(L, W int) (*Grid, error) { return grid.NewHexPlus(L, W) }

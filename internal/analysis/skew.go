@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// IntraSkews returns the absolute intra-layer skews |t_{ℓ,i} − t_{ℓ,i+1}|
+// in nanoseconds over all layers ℓ ≥ 1 (layer 0 is excluded, matching the
+// σ^op definitions of Section 4.1). Pairs involving excluded or untriggered
+// nodes are dropped.
+func (w *Wave) IntraSkews() []float64 {
+	var out []float64
+	for l := 1; l < w.G.NumLayers(); l++ {
+		out = w.appendIntraLayer(out, l)
+	}
+	return out
+}
+
+// IntraSkewsLayer returns the absolute intra-layer skews of a single layer.
+func (w *Wave) IntraSkewsLayer(l int) []float64 {
+	return w.appendIntraLayer(nil, l)
+}
+
+func (w *Wave) appendIntraLayer(out []float64, l int) []float64 {
+	for _, n := range w.G.Layer(l) {
+		r, ok := w.G.RightNeighbor(n)
+		if !ok || !w.Valid(n) || !w.Valid(r) {
+			continue
+		}
+		out = append(out, sim.AbsTime(w.T[n]-w.T[r]).Nanoseconds())
+	}
+	return out
+}
+
+// InterSkews returns the signed inter-layer skews t_{ℓ,i} − t_{ℓ−1,i} and
+// t_{ℓ,i} − t_{ℓ−1,i+1} in nanoseconds over all layers ℓ ≥ 1, dropping
+// pairs with excluded or untriggered nodes. The sign is kept because the
+// inter-layer skew has a non-zero bias of at least d− (Section 4.1).
+func (w *Wave) InterSkews() []float64 {
+	var out []float64
+	for l := 1; l < w.G.NumLayers(); l++ {
+		out = w.appendInterLayer(out, l)
+	}
+	return out
+}
+
+// InterSkewsLayer returns the signed inter-layer skews between layer l and
+// layer l−1 only.
+func (w *Wave) InterSkewsLayer(l int) []float64 {
+	return w.appendInterLayer(nil, l)
+}
+
+func (w *Wave) appendInterLayer(out []float64, l int) []float64 {
+	for _, n := range w.G.Layer(l) {
+		if !w.Valid(n) {
+			continue
+		}
+		if ll, ok := w.G.LowerLeftNeighbor(n); ok && w.Valid(ll) {
+			out = append(out, (w.T[n] - w.T[ll]).Nanoseconds())
+		}
+		if lr, ok := w.G.LowerRightNeighbor(n); ok && w.Valid(lr) {
+			out = append(out, (w.T[n] - w.T[lr]).Nanoseconds())
+		}
+	}
+	return out
+}
+
+// MaxIntraSkewLayer returns the maximal absolute intra-layer skew of layer
+// l in simulation time units, or -1 if no pair is measurable.
+func (w *Wave) MaxIntraSkewLayer(l int) sim.Time {
+	max := sim.Time(-1)
+	for _, n := range w.G.Layer(l) {
+		r, ok := w.G.RightNeighbor(n)
+		if !ok || !w.Valid(n) || !w.Valid(r) {
+			continue
+		}
+		if s := sim.AbsTime(w.T[n] - w.T[r]); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// InterSkewRangeLayer returns the (min, max) signed inter-layer skew of
+// layer l, and ok=false if no pair is measurable.
+func (w *Wave) InterSkewRangeLayer(l int) (lo, hi sim.Time, ok bool) {
+	lo, hi = sim.MaxTime, -sim.MaxTime
+	for _, n := range w.G.Layer(l) {
+		if !w.Valid(n) {
+			continue
+		}
+		for _, lower := range w.lowerNeighbors(n) {
+			if !w.Valid(lower) {
+				continue
+			}
+			s := w.T[n] - w.T[lower]
+			lo, hi = sim.MinTime(lo, s), sim.MaxOf(hi, s)
+			ok = true
+		}
+	}
+	return lo, hi, ok
+}
+
+func (w *Wave) lowerNeighbors(n int) []int {
+	var out []int
+	if ll, ok := w.G.LowerLeftNeighbor(n); ok {
+		out = append(out, ll)
+	}
+	if lr, ok := w.G.LowerRightNeighbor(n); ok {
+		out = append(out, lr)
+	}
+	return out
+}
+
+// SkewPotential computes Δℓ of Definition 3 for layer `layer` of the
+// hexagonal grid h: max over valid i, j of t_{ℓ,i} − t_{ℓ,j} − |i−j|_W · d−.
+// It returns 0 if fewer than one valid node exists (Δℓ ≥ 0 always, since
+// j = i is allowed).
+func SkewPotential(w *Wave, h *grid.Hex, layer int, dMinus sim.Time) sim.Time {
+	nodes := h.Layer(layer)
+	var best sim.Time // Δℓ ≥ 0 because i == j contributes 0
+	for _, ni := range nodes {
+		if !w.Valid(ni) {
+			continue
+		}
+		_, ci := h.Coord(ni)
+		for _, nj := range nodes {
+			if !w.Valid(nj) {
+				continue
+			}
+			_, cj := h.Coord(nj)
+			v := w.T[ni] - w.T[nj] - sim.Time(h.CyclicDistance(ci, cj))*dMinus
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// PulseAssignment maps the raw trigger histories of a multi-pulse run to
+// per-pulse waves, windowing each node's triggers by the layer-0 schedule
+// shifted by the node's causal depth: for a node in layer ℓ, pulse k's
+// window is [t(k)min + ℓ·d−, t(k+1)min + ℓ·d−) over the correct sources —
+// the causal lower bounds of Lemma 5. (A window anchored at the sources
+// alone would be wrong: with L·ε + f·d+ ≤ S the pulse wave is still
+// climbing the upper layers when the sources already emit the next pulse.)
+// A node is cleanly assigned for pulse k iff it triggered exactly once
+// inside its window (the paper: "unambiguously assigning a corresponding
+// pulse number to a triggering time ... was easy" thanks to the large
+// separation times).
+type PulseAssignment struct {
+	// Waves[k] holds the assigned triggering times of pulse k; ambiguous
+	// or missing assignments are Missing.
+	Waves []*Wave
+	// Clean[k][n] reports whether node n triggered exactly once in pulse
+	// k's window.
+	Clean [][]bool
+}
+
+// AssignPulses windows res's trigger histories by the schedule, with each
+// node's windows shifted by ℓ·d− for its layer ℓ.
+func AssignPulses(g *grid.Graph, res *core.Result, plan *fault.Plan, sched *source.Schedule, b delay.Bounds) *PulseAssignment {
+	k := sched.Pulses()
+	layer0 := g.Layer(0)
+	correctCol := func(c int) bool { return !plan.IsFaulty(layer0[c]) }
+
+	starts := make([]sim.Time, k+1)
+	for p := 0; p < k; p++ {
+		starts[p] = sched.PulseMin(p, correctCol)
+	}
+	starts[k] = sim.MaxTime
+
+	pa := &PulseAssignment{
+		Waves: make([]*Wave, k),
+		Clean: make([][]bool, k),
+	}
+	for p := 0; p < k; p++ {
+		pa.Waves[p] = NewWave(g)
+		pa.Clean[p] = make([]bool, g.NumNodes())
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		faulty := plan.IsFaulty(n)
+		for p := 0; p < k; p++ {
+			if faulty {
+				pa.Waves[p].Excluded[n] = true
+			}
+		}
+		if faulty {
+			continue
+		}
+		shift := sim.Time(g.LayerOf(n)) * b.Min
+		windowStart := func(p int) sim.Time {
+			if p >= k {
+				return sim.MaxTime
+			}
+			return starts[p] + shift
+		}
+		p := 0
+		ts := res.Triggers[n]
+		for i := 0; i < len(ts); {
+			t := ts[i]
+			for p < k && t >= windowStart(p+1) {
+				p++
+			}
+			if p >= k {
+				break
+			}
+			if t < windowStart(p) {
+				i++ // spurious trigger before the first window
+				continue
+			}
+			// Count triggers within this window.
+			j := i
+			for j < len(ts) && ts[j] < windowStart(p+1) {
+				j++
+			}
+			if j-i == 1 {
+				pa.Waves[p].T[n] = t
+				pa.Clean[p][n] = true
+			}
+			i = j
+		}
+	}
+	return pa
+}
+
+// Thresholds are the per-layer skew bounds the stabilization estimator
+// checks: the intra-layer bound σ(f, ℓ) and the signed inter-layer window
+// derived from it.
+type Thresholds struct {
+	// Intra returns the intra-layer bound for layer ℓ ≥ 1.
+	Intra func(layer int) sim.Time
+	// InterLo/InterHi bound the signed inter-layer skew of layer ℓ ≥ 1.
+	InterLo func(layer int) sim.Time
+	InterHi func(layer int) sim.Time
+}
+
+// ThresholdsFromSigma derives inter-layer windows from an intra-layer bound
+// via Theorem 1's third statement: t_{ℓ,i} − t_{ℓ−1,·} ∈
+// [d− − σ_{ℓ−1}, d+ + σ_{ℓ−1}].
+func ThresholdsFromSigma(sigma func(layer int) sim.Time, b delay.Bounds) Thresholds {
+	return Thresholds{
+		Intra:   sigma,
+		InterLo: func(l int) sim.Time { return b.Min - sigma(l-1) },
+		InterHi: func(l int) sim.Time { return b.Max + sigma(l-1) },
+	}
+}
+
+// ConstantSigma returns a layer-independent σ bound.
+func ConstantSigma(s sim.Time) func(int) sim.Time {
+	return func(int) sim.Time { return s }
+}
+
+// PulseStable reports whether pulse k of the assignment satisfies the
+// thresholds: every non-excluded forwarding node cleanly assigned, and all
+// per-layer intra- and inter-layer skews within bounds. Nodes marked
+// excluded in the waves (e.g. by ExcludeFaultyNeighborhood) are ignored.
+func (pa *PulseAssignment) PulseStable(k int, th Thresholds) bool {
+	w := pa.Waves[k]
+	g := w.G
+	for n := 0; n < g.NumNodes(); n++ {
+		if w.Excluded[n] || g.LayerOf(n) == 0 {
+			continue
+		}
+		if !pa.Clean[k][n] {
+			return false
+		}
+	}
+	for l := 1; l < g.NumLayers(); l++ {
+		if m := w.MaxIntraSkewLayer(l); m >= 0 && m > th.Intra(l) {
+			return false
+		}
+		if lo, hi, ok := w.InterSkewRangeLayer(l); ok {
+			if lo < th.InterLo(l) || hi > th.InterHi(l) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StabilizationPulse returns the smallest pulse index k such that pulses
+// k, k+1, …, K−1 are all stable under th — the paper's estimator ("the
+// minimal pulse with the property that the skews persistently fall below a
+// layer-dependent threshold"). ok is false if even the last pulse is
+// unstable. The returned index is 0-based; the paper's "stabilizes after
+// the very first pulse" corresponds to k == 0.
+func (pa *PulseAssignment) StabilizationPulse(th Thresholds) (k int, ok bool) {
+	last := len(pa.Waves)
+	for p := len(pa.Waves) - 1; p >= 0; p-- {
+		if !pa.PulseStable(p, th) {
+			break
+		}
+		last = p
+	}
+	if last == len(pa.Waves) {
+		return 0, false
+	}
+	return last, true
+}
+
+// ExcludeFaultyNeighborhoodAll applies ExcludeFaultyNeighborhood to every
+// pulse wave of the assignment.
+func (pa *PulseAssignment) ExcludeFaultyNeighborhoodAll(plan *fault.Plan, h int) {
+	for _, w := range pa.Waves {
+		w.ExcludeFaultyNeighborhood(plan, h)
+	}
+}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/theory"
+)
+
+// syntheticResult builds a Result where node (ℓ,i) triggers once per pulse
+// at sched time + ℓ·step (a perfectly regular pulse train).
+func syntheticResult(h *grid.Hex, sched *source.Schedule, step sim.Time) *core.Result {
+	res := &core.Result{Triggers: make([][]sim.Time, h.NumNodes())}
+	for n := 0; n < h.NumNodes(); n++ {
+		l, c := h.Coord(n)
+		for k := range sched.Times {
+			res.Triggers[n] = append(res.Triggers[n], sched.Times[k][c]+sim.Time(l)*step)
+		}
+	}
+	return res
+}
+
+func TestAssignPulsesRegularTrain(t *testing.T) {
+	h := grid.MustHex(10, 5)
+	b := delay.Paper
+	sched := source.NewSchedule(source.Zero, h.W, 4, b, 300*sim.Nanosecond, nil)
+	res := syntheticResult(h, sched, 8000)
+	plan := fault.NewPlan(h.NumNodes())
+	pa := AssignPulses(h.Graph, res, plan, sched, b)
+	if len(pa.Waves) != 4 {
+		t.Fatalf("waves = %d", len(pa.Waves))
+	}
+	for k := 0; k < 4; k++ {
+		for n := 0; n < h.NumNodes(); n++ {
+			if !pa.Clean[k][n] {
+				t.Fatalf("pulse %d node %d not cleanly assigned", k, n)
+			}
+			if pa.Waves[k].T[n] != res.Triggers[n][k] {
+				t.Fatalf("pulse %d node %d assigned wrong trigger", k, n)
+			}
+		}
+	}
+}
+
+func TestAssignPulsesLayerShiftedWindows(t *testing.T) {
+	// A deep grid whose wave takes longer than the pulse separation: the
+	// per-layer window shift must still assign triggers correctly.
+	h := grid.MustHex(50, 5)
+	b := delay.Paper
+	// Separation 300ns < 50·8ns = 400ns traversal time.
+	sched := source.NewSchedule(source.Zero, h.W, 3, b, 300*sim.Nanosecond, nil)
+	res := syntheticResult(h, sched, b.Max)
+	pa := AssignPulses(h.Graph, res, fault.NewPlan(h.NumNodes()), sched, b)
+	for k := 0; k < 3; k++ {
+		for n := 0; n < h.NumNodes(); n++ {
+			if !pa.Clean[k][n] {
+				t.Fatalf("pulse %d node %d not cleanly assigned (layer %d)", k, n, h.LayerOf(n))
+			}
+		}
+	}
+}
+
+func TestAssignPulsesSpuriousAndDouble(t *testing.T) {
+	h := grid.MustHex(2, 4)
+	b := delay.Paper
+	sched := source.NewSchedule(source.Zero, h.W, 2, b, 300*sim.Nanosecond, nil)
+	res := syntheticResult(h, sched, 8000)
+	n := h.NodeID(1, 1)
+	// A second trigger inside pulse 0's window makes it ambiguous.
+	res.Triggers[n] = append([]sim.Time{res.Triggers[n][0] + 1000}, res.Triggers[n]...)
+	pa := AssignPulses(h.Graph, res, fault.NewPlan(h.NumNodes()), sched, b)
+	if pa.Clean[0][n] {
+		t.Error("double trigger counted as clean")
+	}
+	if pa.Waves[0].T[n] != Missing {
+		t.Error("ambiguous assignment produced a time")
+	}
+	if !pa.Clean[1][n] {
+		t.Error("pulse 1 should be unaffected")
+	}
+}
+
+func TestAssignPulsesExcludesFaulty(t *testing.T) {
+	h := grid.MustHex(3, 4)
+	b := delay.Paper
+	sched := source.NewSchedule(source.Zero, h.W, 2, b, 300*sim.Nanosecond, nil)
+	res := syntheticResult(h, sched, 8000)
+	plan := fault.NewPlan(h.NumNodes())
+	bad := h.NodeID(1, 1)
+	plan.SetBehavior(bad, fault.Byzantine)
+	pa := AssignPulses(h.Graph, res, plan, sched, b)
+	for k := range pa.Waves {
+		if !pa.Waves[k].Excluded[bad] {
+			t.Fatalf("faulty node not excluded in pulse %d", k)
+		}
+	}
+}
+
+func TestPulseStableAndStabilization(t *testing.T) {
+	h := grid.MustHex(6, 5)
+	b := delay.Paper
+	sched := source.NewSchedule(source.Zero, h.W, 5, b, 300*sim.Nanosecond, nil)
+	res := syntheticResult(h, sched, 8000)
+	// Corrupt pulses 0 and 1 with a wildly late node.
+	n := h.NodeID(3, 2)
+	res.Triggers[n][0] += 50 * sim.Nanosecond
+	res.Triggers[n][1] += 50 * sim.Nanosecond
+	pa := AssignPulses(h.Graph, res, fault.NewPlan(h.NumNodes()), sched, b)
+	th := ThresholdsFromSigma(ConstantSigma(2*b.Max), b)
+	if pa.PulseStable(0, th) || pa.PulseStable(1, th) {
+		t.Error("corrupted pulses judged stable")
+	}
+	for k := 2; k < 5; k++ {
+		if !pa.PulseStable(k, th) {
+			t.Errorf("clean pulse %d judged unstable", k)
+		}
+	}
+	k, ok := pa.StabilizationPulse(th)
+	if !ok || k != 2 {
+		t.Errorf("StabilizationPulse = %d, %v; want 2, true", k, ok)
+	}
+}
+
+func TestStabilizationNeverStable(t *testing.T) {
+	h := grid.MustHex(4, 5)
+	b := delay.Paper
+	sched := source.NewSchedule(source.Zero, h.W, 3, b, 300*sim.Nanosecond, nil)
+	res := syntheticResult(h, sched, 8000)
+	// Corrupt the last pulse.
+	res.Triggers[h.NodeID(2, 2)][2] += 100 * sim.Nanosecond
+	pa := AssignPulses(h.Graph, res, fault.NewPlan(h.NumNodes()), sched, b)
+	th := ThresholdsFromSigma(ConstantSigma(2*b.Max), b)
+	if _, ok := pa.StabilizationPulse(th); ok {
+		t.Error("corrupted final pulse judged stabilized")
+	}
+}
+
+func TestStabilizationMissingNodeBlocks(t *testing.T) {
+	h := grid.MustHex(4, 5)
+	b := delay.Paper
+	sched := source.NewSchedule(source.Zero, h.W, 2, b, 300*sim.Nanosecond, nil)
+	res := syntheticResult(h, sched, 8000)
+	// A node that never triggers in pulse 1.
+	n := h.NodeID(2, 2)
+	res.Triggers[n] = res.Triggers[n][:1]
+	pa := AssignPulses(h.Graph, res, fault.NewPlan(h.NumNodes()), sched, b)
+	th := ThresholdsFromSigma(ConstantSigma(20*b.Max), b)
+	if pa.PulseStable(1, th) {
+		t.Error("pulse with missing node judged stable")
+	}
+	// Excluding the node (e.g. as a fault neighbor) unblocks it.
+	pa.Waves[1].Excluded[n] = true
+	if !pa.PulseStable(1, th) {
+		t.Error("exclusion did not unblock stability check")
+	}
+}
+
+func TestThresholdsFromSigma(t *testing.T) {
+	b := delay.Paper
+	sigma := func(l int) sim.Time { return sim.Time(1000 * (l + 1)) }
+	th := ThresholdsFromSigma(sigma, b)
+	if th.Intra(3) != 4000 {
+		t.Error("intra threshold wrong")
+	}
+	if th.InterLo(3) != b.Min-3000 || th.InterHi(3) != b.Max+3000 {
+		t.Error("inter window wrong")
+	}
+}
+
+// TestEndToEndStabilization runs the real algorithm from random states and
+// checks it stabilizes within the Theorem 2 bound of L+1 pulses.
+func TestEndToEndStabilization(t *testing.T) {
+	h := grid.MustHex(8, 6)
+	b := delay.Paper
+	to := theory.Condition2(3*b.Max, b, h.L, 0, theory.PaperDrift)
+	sched := source.NewSchedule(source.UniformDPlus, h.W, h.L+2, b, to.Separation, sim.NewRNG(21))
+	res, err := core.Run(core.Config{
+		Graph: h.Graph,
+		Params: core.Params{
+			Bounds:    b,
+			TLinkMin:  to.TLinkMin,
+			TLinkMax:  to.TLinkMax,
+			TSleepMin: to.TSleepMin,
+			TSleepMax: to.TSleepMax,
+		},
+		Delay:      delay.Uniform{Bounds: b},
+		Faults:     fault.NewPlan(h.NumNodes()),
+		Schedule:   sched,
+		RandomInit: true,
+		Seed:       23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := AssignPulses(h.Graph, res, fault.NewPlan(h.NumNodes()), sched, b)
+	th := ThresholdsFromSigma(ConstantSigma(2*b.Max), b)
+	k, ok := pa.StabilizationPulse(th)
+	if !ok {
+		t.Fatal("never stabilized")
+	}
+	if k > h.L+1 {
+		t.Errorf("stabilized at pulse %d, beyond Theorem 2's bound %d", k, h.L+1)
+	}
+	t.Logf("stabilized at pulse %d (bound %d)", k, h.L+1)
+}
+
+// TestTheorem2LayerwiseStabilization checks the *shape* of Theorem 2's
+// induction on a real run: layer ℓ's skews are within bounds in every
+// pulse k > ℓ (the theorem's worst-case guarantee; in practice layers
+// stabilize much faster, so this is comfortably satisfied).
+func TestTheorem2LayerwiseStabilization(t *testing.T) {
+	h := grid.MustHex(8, 6)
+	b := delay.Paper
+	to := theory.Condition2(3*b.Max, b, h.L, 0, theory.PaperDrift)
+	sched := source.NewSchedule(source.UniformDPlus, h.W, h.L+3, b,
+		to.Separation, sim.NewRNG(5))
+	res, err := core.Run(core.Config{
+		Graph: h.Graph,
+		Params: core.Params{
+			Bounds:    b,
+			TLinkMin:  to.TLinkMin,
+			TLinkMax:  to.TLinkMax,
+			TSleepMin: to.TSleepMin,
+			TSleepMax: to.TSleepMax,
+		},
+		Delay:      delay.Uniform{Bounds: b},
+		Faults:     fault.NewPlan(h.NumNodes()),
+		Schedule:   sched,
+		RandomInit: true,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := AssignPulses(h.Graph, res, fault.NewPlan(h.NumNodes()), sched, b)
+	sigma := ConstantSigma(2 * b.Max)
+	th := ThresholdsFromSigma(sigma, b)
+	for l := 1; l <= h.L; l++ {
+		for k := l + 1; k < len(pa.Waves); k++ {
+			w := pa.Waves[k]
+			if m := w.MaxIntraSkewLayer(l); m >= 0 && m > th.Intra(l) {
+				t.Errorf("layer %d pulse %d: intra skew %v above bound", l, k, m)
+			}
+			for _, n := range h.Layer(l) {
+				if !pa.Clean[k][n] {
+					t.Errorf("layer %d pulse %d: node %d not cleanly assigned", l, k, n)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package analysis post-processes simulation results: it extracts per-pulse
+// triggering-time matrices ("waves"), computes the paper's skew metrics
+// (Definition 3 and Section 4.1), applies the h-hop fault-neighborhood
+// exclusion of Figs. 15–16, assigns triggering times to pulse numbers, and
+// estimates stabilization times (Section 4.4).
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// Missing marks a node without a (usable) triggering time in a wave:
+// faulty nodes, nodes that never triggered, or ambiguous pulse assignments.
+const Missing sim.Time = math.MinInt64
+
+// Wave is the triggering-time matrix t_{ℓ,i} of a single pulse.
+type Wave struct {
+	G *grid.Graph
+	// T[n] is node n's triggering time, or Missing.
+	T []sim.Time
+	// Excluded[n] removes node n from all statistics. Faulty nodes are
+	// always excluded; ExcludeFaultyNeighborhood widens the exclusion to
+	// their outgoing h-hop neighborhoods.
+	Excluded []bool
+}
+
+// NewWave returns an empty wave (all Missing) for graph g.
+func NewWave(g *grid.Graph) *Wave {
+	w := &Wave{
+		G:        g,
+		T:        make([]sim.Time, g.NumNodes()),
+		Excluded: make([]bool, g.NumNodes()),
+	}
+	for i := range w.T {
+		w.T[i] = Missing
+	}
+	return w
+}
+
+// WaveFromResult extracts pulse number `pulse` (0-based) from a simulation
+// result: node n's time is Triggers[n][pulse] if that exists. Faulty nodes
+// are marked excluded. For multi-pulse runs started from arbitrary states,
+// use AssignPulses instead, which windows triggers by the source schedule.
+func WaveFromResult(g *grid.Graph, res *core.Result, plan *fault.Plan, pulse int) *Wave {
+	w := NewWave(g)
+	for n := 0; n < g.NumNodes(); n++ {
+		if plan.IsFaulty(n) {
+			w.Excluded[n] = true
+			continue
+		}
+		if ts := res.Triggers[n]; pulse < len(ts) {
+			w.T[n] = ts[pulse]
+		}
+	}
+	return w
+}
+
+// Valid reports whether node n carries a usable triggering time.
+func (w *Wave) Valid(n int) bool { return !w.Excluded[n] && w.T[n] != Missing }
+
+// TriggeredCount returns the number of non-excluded nodes with a time.
+func (w *Wave) TriggeredCount() int {
+	c := 0
+	for n := range w.T {
+		if w.Valid(n) {
+			c++
+		}
+	}
+	return c
+}
+
+// AllForwardersTriggered reports whether every non-excluded node above
+// layer 0 triggered.
+func (w *Wave) AllForwardersTriggered() bool {
+	for n := range w.T {
+		if w.G.LayerOf(n) == 0 || w.Excluded[n] {
+			continue
+		}
+		if w.T[n] == Missing {
+			return false
+		}
+	}
+	return true
+}
+
+// ExcludeFaultyNeighborhood marks, in addition to the faulty nodes
+// themselves, all nodes reachable from a faulty node over at most h outgoing
+// links as excluded — the paper's h-hop discard of Figs. 15–16 ("in
+// addition to the faulty nodes themselves, also their outgoing 1-hop
+// neighbors are discarded from the data set").
+func (w *Wave) ExcludeFaultyNeighborhood(plan *fault.Plan, h int) {
+	frontier := plan.FaultyNodes()
+	for _, n := range frontier {
+		w.Excluded[n] = true
+	}
+	for hop := 0; hop < h; hop++ {
+		var next []int
+		for _, n := range frontier {
+			for _, to := range w.G.OutNeighborsOf(n) {
+				if !w.Excluded[to] {
+					w.Excluded[to] = true
+					next = append(next, to)
+				}
+			}
+		}
+		frontier = next
+	}
+}

@@ -1,0 +1,241 @@
+// Package clocktree implements the baseline HEX is compared against in the
+// paper's title and introduction: a buffered H-tree clock distribution
+// network. The paper argues (Section 1) that trees force Θ(√n) wire between
+// some physically adjacent functional units and that a single broken buffer
+// silences an entire subtree; this package makes those claims measurable
+// next to HEX simulations.
+//
+// The tree is the idealized balanced H-tree: a 4-ary tree of depth k whose
+// 4^k leaves tile a 2^k × 2^k die. All root-to-leaf paths have equal
+// nominal delay; skew comes only from per-segment delay jitter and buffer
+// delay spread, so the comparison is charitable to the tree.
+package clocktree
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Tree is a balanced H-tree over a 2^Depth × 2^Depth leaf grid.
+type Tree struct {
+	// Depth k: internal levels 0 (root) … k−1; leaves at level k.
+	Depth int
+	// Side is 2^Depth, the leaf grid side length.
+	Side int
+}
+
+// New returns an H-tree of the given depth (≥ 1).
+func New(depth int) (*Tree, error) {
+	if depth < 1 || depth > 15 {
+		return nil, fmt.Errorf("clocktree: depth must be in [1, 15], got %d", depth)
+	}
+	return &Tree{Depth: depth, Side: 1 << depth}, nil
+}
+
+// MustNew is New that panics on invalid depth.
+func MustNew(depth int) *Tree {
+	t, err := New(depth)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumLeaves returns 4^Depth.
+func (t *Tree) NumLeaves() int { return t.Side * t.Side }
+
+// LeafID returns the id of the leaf at (row, col) of the leaf grid.
+func (t *Tree) LeafID(row, col int) int { return row*t.Side + col }
+
+// LeafCoord returns the (row, col) of leaf id.
+func (t *Tree) LeafCoord(id int) (row, col int) { return id / t.Side, id % t.Side }
+
+// NodeRef identifies an internal tree node: the node at `Level` covering the
+// 2^(Depth−Level) × 2^(Depth−Level) block whose block coordinates are
+// (Row, Col) in the 2^Level × 2^Level block grid. Level 0, (0,0) is the root.
+type NodeRef struct {
+	Level, Row, Col int
+}
+
+// parent returns the parent of an internal node (undefined for the root).
+func (n NodeRef) parent() NodeRef {
+	return NodeRef{Level: n.Level - 1, Row: n.Row / 2, Col: n.Col / 2}
+}
+
+// LeafAncestor returns the ancestor of leaf (row, col) at the given level.
+func (t *Tree) LeafAncestor(row, col, level int) NodeRef {
+	shift := uint(t.Depth - level)
+	return NodeRef{Level: level, Row: row >> shift, Col: col >> shift}
+}
+
+// LCALevel returns the level of the lowest common ancestor of two leaves;
+// 0 means they meet only at the root.
+func (t *Tree) LCALevel(a, b int) int {
+	ar, ac := t.LeafCoord(a)
+	br, bc := t.LeafCoord(b)
+	for level := t.Depth - 1; level >= 0; level-- {
+		if t.LeafAncestor(ar, ac, level) == t.LeafAncestor(br, bc, level) {
+			return level
+		}
+	}
+	return 0
+}
+
+// SegmentLength returns the nominal wire length (in leaf-pitch units) of
+// the segment feeding a node at the given level from its parent: half the
+// parent block's side, so deeper segments are shorter, as in a real H-tree.
+func (t *Tree) SegmentLength(level int) float64 {
+	// A node at level m sits in a block of side 2^(Depth−m+1) at its
+	// parent; the connecting wire spans half of it.
+	return float64(int(1) << uint(t.Depth-level))
+}
+
+// PathWireLength returns the total wire length between two leaves through
+// the tree: the sum of segment lengths from each leaf up to their LCA. For
+// physically adjacent leaves across the top-level bisector this is Θ(√n).
+func (t *Tree) PathWireLength(a, b int) float64 {
+	lca := t.LCALevel(a, b)
+	var sum float64
+	for level := lca + 1; level <= t.Depth; level++ {
+		sum += 2 * t.SegmentLength(level)
+	}
+	return sum
+}
+
+// WorstNeighborWireLength returns the largest PathWireLength over all
+// grid-adjacent leaf pairs; for an H-tree this is the pair straddling the
+// die's central bisector, with length Θ(√n).
+func (t *Tree) WorstNeighborWireLength() float64 {
+	mid := t.Side / 2
+	return t.PathWireLength(t.LeafID(0, mid-1), t.LeafID(0, mid))
+}
+
+// Delays parameterizes the tree's timing.
+type Delays struct {
+	// UnitWire is the delay per leaf-pitch unit of wire.
+	UnitWire sim.Time
+	// WireJitter is the relative jitter of each segment's wire delay:
+	// actual = nominal · (1 + U[−WireJitter, +WireJitter]).
+	WireJitter float64
+	// BufMin/BufMax bound the delay of the regeneration buffer at each
+	// internal node.
+	BufMin, BufMax sim.Time
+}
+
+// Run is the outcome of one tree simulation.
+type Run struct {
+	Tree *Tree
+	// Arrival[leaf] is the clock arrival time; meaningless if Dead[leaf].
+	Arrival []sim.Time
+	// Dead[leaf] marks leaves cut off by a failed buffer.
+	Dead []bool
+}
+
+// Simulate computes leaf arrival times under d, with every internal node in
+// deadBuffers failed (its whole subtree receives no clock). rng drives the
+// jitter draws; the traversal order is deterministic.
+func (t *Tree) Simulate(d Delays, deadBuffers []NodeRef, rng *sim.RNG) *Run {
+	run := &Run{
+		Tree:    t,
+		Arrival: make([]sim.Time, t.NumLeaves()),
+		Dead:    make([]bool, t.NumLeaves()),
+	}
+	dead := make(map[NodeRef]bool, len(deadBuffers))
+	for _, n := range deadBuffers {
+		dead[n] = true
+	}
+	// arrival[level] holds the partial arrival times of the current level's
+	// block grid, row-major.
+	cur := []sim.Time{0}
+	curDead := []bool{dead[NodeRef{0, 0, 0}]}
+	for level := 1; level <= t.Depth; level++ {
+		side := 1 << uint(level)
+		next := make([]sim.Time, side*side)
+		nextDead := make([]bool, side*side)
+		nominal := sim.Time(float64(d.UnitWire) * t.SegmentLength(level))
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				idx := r*side + c
+				pidx := (r/2)*(side/2) + c/2
+				if curDead[pidx] {
+					nextDead[idx] = true
+					continue
+				}
+				jit := 1 + (2*rng.Float64()-1)*d.WireJitter
+				wire := sim.Time(float64(nominal) * jit)
+				buf := rng.TimeIn(d.BufMin, d.BufMax)
+				next[idx] = cur[pidx] + wire + buf
+				if level < t.Depth && dead[NodeRef{level, r, c}] {
+					nextDead[idx] = true
+				}
+			}
+		}
+		cur, curDead = next, nextDead
+	}
+	copy(run.Arrival, cur)
+	copy(run.Dead, curDead)
+	return run
+}
+
+// NeighborSkews returns |arrival(a) − arrival(b)| in nanoseconds for every
+// grid-adjacent live leaf pair, the tree-side analogue of HEX's neighbor
+// skews.
+func (r *Run) NeighborSkews() []float64 {
+	t := r.Tree
+	var out []float64
+	add := func(a, b int) {
+		if r.Dead[a] || r.Dead[b] {
+			return
+		}
+		out = append(out, sim.AbsTime(r.Arrival[a]-r.Arrival[b]).Nanoseconds())
+	}
+	for row := 0; row < t.Side; row++ {
+		for col := 0; col < t.Side; col++ {
+			id := t.LeafID(row, col)
+			if col+1 < t.Side {
+				add(id, t.LeafID(row, col+1))
+			}
+			if row+1 < t.Side {
+				add(id, t.LeafID(row+1, col))
+			}
+		}
+	}
+	return out
+}
+
+// DeadLeaves counts leaves without a clock.
+func (r *Run) DeadLeaves() int {
+	n := 0
+	for _, d := range r.Dead {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// SubtreeLeaves returns the number of leaves below an internal node at the
+// given level: 4^(Depth−level).
+func (t *Tree) SubtreeLeaves(level int) int {
+	return 1 << uint(2*(t.Depth-level))
+}
+
+// RandomBuffer returns a uniformly random internal node reference.
+func (t *Tree) RandomBuffer(rng *sim.RNG) NodeRef {
+	// Levels 0..Depth−1 are internal; weight by node count per level.
+	total := 0
+	for level := 0; level < t.Depth; level++ {
+		total += 1 << uint(2*level)
+	}
+	pick := rng.Intn(total)
+	for level := 0; level < t.Depth; level++ {
+		count := 1 << uint(2*level)
+		if pick < count {
+			side := 1 << uint(level)
+			return NodeRef{Level: level, Row: pick / side, Col: pick % side}
+		}
+		pick -= count
+	}
+	panic("clocktree: unreachable")
+}

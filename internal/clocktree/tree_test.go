@@ -1,0 +1,183 @@
+package clocktree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := New(16); err == nil {
+		t.Error("depth 16 accepted")
+	}
+	tr, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Side != 8 || tr.NumLeaves() != 64 {
+		t.Errorf("side=%d leaves=%d", tr.Side, tr.NumLeaves())
+	}
+}
+
+func TestLeafCoordRoundTrip(t *testing.T) {
+	tr := MustNew(4)
+	for id := 0; id < tr.NumLeaves(); id++ {
+		r, c := tr.LeafCoord(id)
+		if tr.LeafID(r, c) != id {
+			t.Fatalf("round trip broken at %d", id)
+		}
+	}
+}
+
+func TestLCALevel(t *testing.T) {
+	tr := MustNew(3) // 8×8 leaves
+	// Adjacent leaves within the same 2×2 block meet at level 2.
+	if l := tr.LCALevel(tr.LeafID(0, 0), tr.LeafID(0, 1)); l != 2 {
+		t.Errorf("same-block LCA level = %d, want 2", l)
+	}
+	// Leaves across the central bisector meet only at the root.
+	if l := tr.LCALevel(tr.LeafID(0, 3), tr.LeafID(0, 4)); l != 0 {
+		t.Errorf("bisector LCA level = %d, want 0", l)
+	}
+	// Same leaf: LCA is its immediate parent level.
+	if l := tr.LCALevel(tr.LeafID(2, 2), tr.LeafID(2, 2)); l != 2 {
+		t.Errorf("self LCA = %d", l)
+	}
+}
+
+func TestPathWireLengthScalesWithBisector(t *testing.T) {
+	tr := MustNew(5) // 32×32
+	near := tr.PathWireLength(tr.LeafID(0, 0), tr.LeafID(0, 1))
+	far := tr.PathWireLength(tr.LeafID(0, 15), tr.LeafID(0, 16))
+	if far <= near {
+		t.Errorf("bisector path %v not longer than local path %v", far, near)
+	}
+	if tr.WorstNeighborWireLength() != far {
+		t.Errorf("WorstNeighborWireLength = %v, want %v", tr.WorstNeighborWireLength(), far)
+	}
+	// Θ(√n): doubling the depth quadruples leaves and doubles the length.
+	small := MustNew(3).WorstNeighborWireLength()
+	large := MustNew(4).WorstNeighborWireLength()
+	if math.Abs(large/small-2) > 0.2 {
+		t.Errorf("worst wire ratio %v, want ≈2", large/small)
+	}
+}
+
+func TestSimulateZeroJitterZeroSkew(t *testing.T) {
+	tr := MustNew(4)
+	d := Delays{UnitWire: 100 * sim.Picosecond, WireJitter: 0, BufMin: 50, BufMax: 50}
+	run := tr.Simulate(d, nil, sim.NewRNG(1))
+	first := run.Arrival[0]
+	for id, a := range run.Arrival {
+		if a != first {
+			t.Fatalf("leaf %d arrival %v differs from %v despite zero jitter", id, a, first)
+		}
+	}
+	for _, v := range run.NeighborSkews() {
+		if v != 0 {
+			t.Fatal("nonzero skew with zero jitter")
+		}
+	}
+	if run.DeadLeaves() != 0 {
+		t.Error("dead leaves without faults")
+	}
+}
+
+func TestSimulateJitterGrowsWithLCA(t *testing.T) {
+	// Pairs meeting at the root accumulate more independent jitter than
+	// pairs sharing all but the last segment; check average skews.
+	tr := MustNew(5)
+	d := Delays{UnitWire: 500 * sim.Picosecond, WireJitter: 0.06, BufMin: 161, BufMax: 197}
+	rng := sim.NewRNG(7)
+	var rootPairs, localPairs []float64
+	for i := 0; i < 50; i++ {
+		run := tr.Simulate(d, nil, rng)
+		mid := tr.Side / 2
+		rootPairs = append(rootPairs,
+			sim.AbsTime(run.Arrival[tr.LeafID(0, mid-1)]-run.Arrival[tr.LeafID(0, mid)]).Nanoseconds())
+		localPairs = append(localPairs,
+			sim.AbsTime(run.Arrival[tr.LeafID(0, 0)]-run.Arrival[tr.LeafID(0, 1)]).Nanoseconds())
+	}
+	avg := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if avg(rootPairs) <= avg(localPairs) {
+		t.Errorf("root-pair skew %v not larger than local-pair skew %v", avg(rootPairs), avg(localPairs))
+	}
+}
+
+func TestDeadBufferKillsExactSubtree(t *testing.T) {
+	tr := MustNew(4)
+	d := Delays{UnitWire: 100, WireJitter: 0, BufMin: 0, BufMax: 0}
+	// Kill a level-2 node: 4^(4−2) = 16 leaves die.
+	dead := NodeRef{Level: 2, Row: 1, Col: 2}
+	run := tr.Simulate(d, []NodeRef{dead}, sim.NewRNG(1))
+	if got := run.DeadLeaves(); got != tr.SubtreeLeaves(2) {
+		t.Errorf("dead leaves = %d, want %d", got, tr.SubtreeLeaves(2))
+	}
+	// Exactly the leaves under (2, 1, 2): rows 4..7, cols 8..11.
+	for r := 0; r < tr.Side; r++ {
+		for c := 0; c < tr.Side; c++ {
+			want := r >= 4 && r < 8 && c >= 8 && c < 12
+			if run.Dead[tr.LeafID(r, c)] != want {
+				t.Fatalf("leaf (%d,%d) dead=%v want %v", r, c, run.Dead[tr.LeafID(r, c)], want)
+			}
+		}
+	}
+}
+
+func TestDeadRootKillsEverything(t *testing.T) {
+	tr := MustNew(3)
+	run := tr.Simulate(Delays{UnitWire: 100}, []NodeRef{{0, 0, 0}}, sim.NewRNG(1))
+	if run.DeadLeaves() != tr.NumLeaves() {
+		t.Errorf("dead root left %d live leaves", tr.NumLeaves()-run.DeadLeaves())
+	}
+	if len(run.NeighborSkews()) != 0 {
+		t.Error("skews measured on dead leaves")
+	}
+}
+
+func TestSubtreeLeaves(t *testing.T) {
+	tr := MustNew(5)
+	if tr.SubtreeLeaves(0) != 1024 || tr.SubtreeLeaves(5) != 1 || tr.SubtreeLeaves(3) != 16 {
+		t.Error("SubtreeLeaves wrong")
+	}
+}
+
+func TestRandomBufferInRange(t *testing.T) {
+	tr := MustNew(4)
+	rng := sim.NewRNG(9)
+	levels := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		n := tr.RandomBuffer(rng)
+		if n.Level < 0 || n.Level >= tr.Depth {
+			t.Fatalf("buffer level %d out of range", n.Level)
+		}
+		side := 1 << uint(n.Level)
+		if n.Row < 0 || n.Row >= side || n.Col < 0 || n.Col >= side {
+			t.Fatalf("buffer coords out of range: %+v", n)
+		}
+		levels[n.Level]++
+	}
+	// Deeper levels have more nodes and must be sampled more often.
+	if levels[3] <= levels[0] {
+		t.Errorf("sampling not weighted by node count: %v", levels)
+	}
+}
+
+func TestNeighborSkewCount(t *testing.T) {
+	tr := MustNew(3)
+	run := tr.Simulate(Delays{UnitWire: 100, WireJitter: 0.01, BufMin: 1, BufMax: 2}, nil, sim.NewRNG(2))
+	// 8×8 grid: 2·8·7 = 112 adjacent pairs.
+	if got := len(run.NeighborSkews()); got != 112 {
+		t.Errorf("neighbor pairs = %d, want 112", got)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// runPlusPulse runs one zero-offset pulse on a HEX+ grid.
+func runPlusPulse(t *testing.T, h *grid.Hex, mod func(*Config)) *Result {
+	t.Helper()
+	cfg := Config{
+		Graph:    h.Graph,
+		Params:   DefaultParams(),
+		Delay:    delay.Uniform{Bounds: delay.Paper},
+		Faults:   fault.NewPlan(h.NumNodes()),
+		Schedule: source.SinglePulse(make([]sim.Time, h.W)),
+		Seed:     1,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestHexPlusFaultFreePulse(t *testing.T) {
+	h := grid.MustHexPlus(12, 10)
+	res := runPlusPulse(t, h, nil)
+	for n, ts := range res.Triggers {
+		if len(ts) != 1 {
+			t.Fatalf("HEX+ node %d triggered %d times", n, len(ts))
+		}
+	}
+}
+
+func TestHexPlusSurvivesAdjacentCrashPair(t *testing.T) {
+	// The exact scenario that starves a plain HEX node (see
+	// TestTwoAdjacentCrashesKillCommonUpperNeighbor): both lower
+	// neighbors of a node crash. HEX+ fires it anyway via the outer lower
+	// in-neighbors — Section 5's claimed benefit.
+	h := grid.MustHexPlus(8, 8)
+	victim := h.NodeID(4, 4)
+	res := runPlusPulse(t, h, func(c *Config) {
+		ll, _ := h.LowerLeftNeighbor(victim)
+		lr, _ := h.LowerRightNeighbor(victim)
+		c.Faults.SetBehavior(ll, fault.FailSilent)
+		c.Faults.SetBehavior(lr, fault.FailSilent)
+	})
+	if len(res.Triggers[victim]) != 1 {
+		t.Errorf("HEX+ victim triggered %d times, want 1", len(res.Triggers[victim]))
+	}
+}
+
+func TestHexPlusFixedDelayWave(t *testing.T) {
+	// With all delays equal the HEX+ wave is exactly layer-synchronous,
+	// like plain HEX: the extra links change nothing in the fault-free,
+	// equal-delay case.
+	h := grid.MustHexPlus(8, 8)
+	d := sim.Time(8000)
+	res := runPlusPulse(t, h, func(c *Config) { c.Delay = delay.Fixed{D: d} })
+	for n, ts := range res.Triggers {
+		if want := sim.Time(h.LayerOf(n)) * d; ts[0] != want {
+			t.Fatalf("node %d at %v, want %v", n, ts[0], want)
+		}
+	}
+}
+
+func TestHexPlusFasterThanHexUnderLowerFault(t *testing.T) {
+	// A fail-silent lower-left neighbor delays a plain HEX node (it needs
+	// intra-layer help); the HEX+ node fires via (lower-right,
+	// lower-right-outer) with no detour. Compare trigger times of the
+	// node directly above the fault under identical fixed delays.
+	d := sim.Time(8000)
+	mk := func(plus bool) sim.Time {
+		var h *grid.Hex
+		if plus {
+			h = grid.MustHexPlus(6, 8)
+		} else {
+			h = grid.MustHex(6, 8)
+		}
+		victim := h.NodeID(3, 4)
+		ll, _ := h.LowerLeftNeighbor(victim)
+		cfg := Config{
+			Graph:    h.Graph,
+			Params:   DefaultParams(),
+			Delay:    delay.Fixed{D: d},
+			Faults:   fault.NewPlan(h.NumNodes()),
+			Schedule: source.SinglePulse(make([]sim.Time, h.W)),
+			Seed:     1,
+		}
+		cfg.Faults.SetBehavior(ll, fault.FailSilent)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Triggers[victim]) == 0 {
+			t.Fatal("victim starved")
+		}
+		return res.Triggers[victim][0]
+	}
+	hexTime, plusTime := mk(false), mk(true)
+	if plusTime >= hexTime {
+		t.Errorf("HEX+ (%v) not faster than HEX (%v) above a crashed lower neighbor", plusTime, hexTime)
+	}
+	// HEX+ needs no extra hop at all: it fires at the nominal 3·d.
+	if plusTime != 3*d {
+		t.Errorf("HEX+ victim at %v, want %v", plusTime, 3*d)
+	}
+}

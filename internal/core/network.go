@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// Config fully describes one simulation run. Given equal Configs (including
+// Seed), Run produces identical Results.
+type Config struct {
+	// Graph is the communication topology. Layer 0 nodes act as clock
+	// sources; higher layers run the HEX forwarding algorithm.
+	Graph *grid.Graph
+	// Params are the algorithm parameters.
+	Params Params
+	// Delay assigns per-message link delays. Required.
+	Delay delay.Model
+	// Faults is the fault plan; nil means fault-free.
+	Faults *fault.Plan
+	// Schedule provides the layer-0 triggering times; Times[k][c] refers to
+	// the c-th node of Graph.Layer(0). Required.
+	Schedule *source.Schedule
+	// RandomInit starts every correct forwarding node in an arbitrary
+	// state of the Fig. 7 state machines (for self-stabilization runs).
+	RandomInit bool
+	// Seed drives all randomness (delays, timers, initial states). Fault
+	// placement/behaviour randomness lives in the fault plan, which is
+	// built by the caller before the run.
+	Seed uint64
+	// Horizon stops the simulation; 0 derives a horizon that lets the last
+	// pulse traverse the grid with ample slack.
+	Horizon sim.Time
+	// OnTrigger, if non-nil, observes every trigger of a correct node.
+	OnTrigger func(node int, t sim.Time)
+	// Trace, if non-nil, observes all internal events (sends, deliveries,
+	// flag expiries, fires, sleep/wake transitions).
+	Trace Tracer
+}
+
+// Result holds the observables of one run.
+type Result struct {
+	// Triggers[n] lists the triggering times of node n in increasing
+	// order. Faulty nodes never trigger (their outputs are stuck and their
+	// times are excluded from all statistics, as in the paper).
+	Triggers [][]sim.Time
+	// Events is the number of simulation events executed.
+	Events uint64
+	// Horizon is the (possibly derived) end of simulated time.
+	Horizon sim.Time
+}
+
+// inputState tracks one incoming link's memory flag (Fig. 7b).
+type inputState struct {
+	mode fault.LinkMode
+	set  bool
+	gen  uint32 // invalidates in-flight flag-expiry events
+}
+
+// nodeState is the runtime state of one forwarding node (Fig. 7a).
+type nodeState struct {
+	in       []inputState // parallel to Graph.In(n)
+	sleeping bool
+	wakeGen  uint32 // invalidates in-flight wake events
+	faulty   bool
+	isSource bool
+}
+
+// Typed event kinds dispatched through the sim engine (no per-event
+// closure allocations on the hot path).
+const (
+	evSourceFire uint8 = iota // a = node
+	evCheck                   // a = node
+	evDeliver                 // a = from, b = to
+	evExpire                  // a = node, b = idx | gen<<32
+	evWake                    // a = node, b = gen
+)
+
+// Dispatch implements sim.Dispatcher.
+func (nw *network) Dispatch(kind uint8, a, b int64) {
+	switch kind {
+	case evSourceFire:
+		nw.fireSource(int(a))
+	case evCheck:
+		nw.checkFire(int(a))
+	case evDeliver:
+		nw.deliver(int(a), int(b))
+	case evExpire:
+		nw.expireFlag(int(a), int(uint32(b)), uint32(b>>32))
+	case evWake:
+		nw.wake(int(a), uint32(b))
+	default:
+		panic("core: unknown event kind")
+	}
+}
+
+// network binds a Config to a running engine.
+type network struct {
+	cfg      Config
+	eng      *sim.Engine
+	g        *grid.Graph
+	rngDelay *sim.RNG
+	rngTimer *sim.RNG
+	rngInit  *sim.RNG
+	nodes    []nodeState
+	triggers [][]sim.Time
+}
+
+// Run executes the simulation described by cfg and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("core: Config.Graph is required")
+	}
+	if cfg.Delay == nil {
+		return nil, fmt.Errorf("core: Config.Delay is required")
+	}
+	if cfg.Schedule == nil || cfg.Schedule.Pulses() == 0 {
+		return nil, fmt.Errorf("core: Config.Schedule with at least one pulse is required")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Schedule.Times[0]) != len(cfg.Graph.Layer(0)) {
+		return nil, fmt.Errorf("core: schedule width %d does not match layer-0 width %d",
+			len(cfg.Schedule.Times[0]), len(cfg.Graph.Layer(0)))
+	}
+
+	nw := &network{
+		cfg:      cfg,
+		eng:      sim.NewEngine(),
+		g:        cfg.Graph,
+		rngDelay: sim.NewRNG(sim.DeriveSeed(cfg.Seed, "delay")),
+		rngTimer: sim.NewRNG(sim.DeriveSeed(cfg.Seed, "timer")),
+		rngInit:  sim.NewRNG(sim.DeriveSeed(cfg.Seed, "init")),
+	}
+	nw.eng.SetDispatcher(nw)
+	nw.build()
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = nw.autoHorizon()
+	}
+	nw.eng.Run(horizon)
+	return &Result{
+		Triggers: nw.triggers,
+		Events:   nw.eng.Executed,
+		Horizon:  horizon,
+	}, nil
+}
+
+// autoHorizon derives a stop time covering the last pulse's full traversal,
+// including the fault-induced slowdown of Lemma 5 and pending timers.
+func (nw *network) autoHorizon() sim.Time {
+	p := nw.cfg.Params
+	f := sim.Time(nw.cfg.Faults.NumFaulty())
+	layers := sim.Time(nw.g.NumLayers())
+	slack := (layers + f + 5) * p.Bounds.Max
+	return nw.cfg.Schedule.End() + slack + p.TSleepMax + p.TLinkMax
+}
+
+// build initializes node states, static stuck-at-1 inputs, the layer-0
+// schedule, random initial states, and the time-0 guard checks.
+func (nw *network) build() {
+	g := nw.g
+	n := g.NumNodes()
+	nw.nodes = make([]nodeState, n)
+	nw.triggers = make([][]sim.Time, n)
+	plan := nw.cfg.Faults
+
+	for id := 0; id < n; id++ {
+		st := &nw.nodes[id]
+		st.faulty = plan.IsFaulty(id)
+		st.isSource = g.LayerOf(id) == 0
+		links := g.In(id)
+		st.in = make([]inputState, len(links))
+		for i, l := range links {
+			st.in[i].mode = plan.Link(l.From, id)
+			if st.in[i].mode == fault.LinkStuck1 {
+				st.in[i].set = true // permanently high input
+			}
+		}
+	}
+
+	// Layer-0 pulse generation.
+	layer0 := g.Layer(0)
+	for k := range nw.cfg.Schedule.Times {
+		for c, at := range nw.cfg.Schedule.Times[k] {
+			id := layer0[c]
+			if nw.nodes[id].faulty {
+				continue
+			}
+			nw.eng.ScheduleEvent(at, evSourceFire, int64(id), 0)
+		}
+	}
+
+	// Initial states of forwarding nodes.
+	for id := 0; id < n; id++ {
+		st := &nw.nodes[id]
+		if st.isSource || st.faulty {
+			continue
+		}
+		if nw.cfg.RandomInit {
+			nw.randomizeState(id)
+		}
+		// Evaluate the guard at time 0: stuck-at-1 inputs or arbitrary
+		// initial flags may already satisfy it.
+		nw.eng.ScheduleEvent(0, evCheck, int64(id), 0)
+	}
+}
+
+// randomizeState puts node id into an arbitrary state of the Fig. 7 state
+// machines: either asleep with an arbitrary residual sleep time, or awake
+// with arbitrary memory flags carrying arbitrary residual link timers.
+func (nw *network) randomizeState(id int) {
+	st := &nw.nodes[id]
+	p := nw.cfg.Params
+	if nw.rngInit.Bool() {
+		st.sleeping = true
+		nw.eng.ScheduleEvent(nw.rngInit.TimeIn(0, p.TSleepMax),
+			evWake, int64(id), int64(st.wakeGen))
+		// The flags may additionally hold arbitrary values; they will be
+		// cleared on wake-up anyway, but can matter if timers expire first.
+	}
+	for i := range st.in {
+		if st.in[i].mode != fault.LinkCorrect {
+			continue
+		}
+		if !nw.rngInit.Bool() {
+			continue
+		}
+		st.in[i].set = true
+		if p.LinkTimersEnabled() {
+			residual := nw.rngInit.TimeIn(0, p.TLinkMax)
+			nw.eng.ScheduleEvent(residual, evExpire,
+				int64(id), int64(i)|int64(st.in[i].gen)<<32)
+		}
+	}
+}
+
+// fireSource makes a layer-0 node emit a pulse.
+func (nw *network) fireSource(id int) {
+	nw.recordTrigger(id, true)
+	nw.broadcast(id)
+}
+
+// broadcast sends trigger messages over all of id's outgoing links.
+func (nw *network) broadcast(id int) {
+	now := nw.eng.Now()
+	for _, out := range nw.g.Out(id) {
+		switch nw.cfg.Faults.Link(id, out.To) {
+		case fault.LinkCorrect:
+			d := nw.cfg.Delay.Delay(id, out.To, now, nw.rngDelay)
+			if d < 0 {
+				panic("core: delay model returned a negative delay")
+			}
+			if nw.cfg.Trace != nil {
+				nw.cfg.Trace.Send(id, out.To, now, now+d)
+			}
+			nw.eng.ScheduleEvent(now+d, evDeliver, int64(id), int64(out.To))
+		default:
+			// Stuck links never carry discrete messages; stuck-at-1 is
+			// modelled as a permanently set input at the receiver.
+		}
+	}
+}
+
+// deliver processes the arrival of a trigger message from `from` at `to`
+// (the "upon receiving trigger message from neighbor" rule of Algorithm 1).
+func (nw *network) deliver(from, to int) {
+	accepted := nw.deliverAccept(from, to)
+	if nw.cfg.Trace != nil {
+		nw.cfg.Trace.Deliver(from, to, nw.eng.Now(), accepted)
+	}
+	if accepted {
+		nw.checkFire(to)
+	}
+}
+
+// deliverAccept updates the receiver's flag state and reports whether the
+// message was memorized.
+func (nw *network) deliverAccept(from, to int) bool {
+	st := &nw.nodes[to]
+	if st.faulty || st.isSource {
+		return false
+	}
+	idx := nw.inputIndex(to, from)
+	if idx < 0 {
+		return false
+	}
+	in := &st.in[idx]
+	if in.mode != fault.LinkCorrect {
+		return false
+	}
+	if in.set {
+		// The Fig. 7b flag machine is already in "memorize"; a further
+		// trigger neither restarts the timer nor changes state.
+		return false
+	}
+	in.set = true
+	in.gen++
+	if nw.cfg.Params.LinkTimersEnabled() {
+		dur := nw.rngTimer.TimeIn(nw.cfg.Params.TLinkMin, nw.cfg.Params.TLinkMax)
+		nw.eng.ScheduleEventAfter(dur, evExpire,
+			int64(to), int64(idx)|int64(in.gen)<<32)
+	}
+	return true
+}
+
+// inputIndex finds which of to's inputs node from drives.
+func (nw *network) inputIndex(to, from int) int {
+	for i, l := range nw.g.In(to) {
+		if l.From == from {
+			return i
+		}
+	}
+	return -1
+}
+
+// expireFlag clears a memory flag when its link timer fires, unless the
+// flag has been cleared and re-set since the timer started.
+func (nw *network) expireFlag(id, idx int, gen uint32) {
+	in := &nw.nodes[id].in[idx]
+	if in.gen != gen || in.mode == fault.LinkStuck1 {
+		return
+	}
+	in.set = false
+	if nw.cfg.Trace != nil {
+		nw.cfg.Trace.FlagExpire(id, idx, nw.eng.Now())
+	}
+}
+
+// guardSatisfied evaluates the firing guard over the node's effective
+// inputs (memory flags, with stuck-at-1 inputs permanently set).
+func (nw *network) guardSatisfied(id int) bool {
+	st := &nw.nodes[id]
+	var have [grid.NumRoles]bool
+	links := nw.g.In(id)
+	for i := range st.in {
+		if st.in[i].set && st.in[i].mode != fault.LinkStuck0 {
+			have[links[i].Role] = true
+		}
+	}
+	switch nw.cfg.Params.Guard {
+	case GuardAdjacent:
+		for _, pair := range nw.g.GuardPairs() {
+			if have[pair[0]] && have[pair[1]] {
+				return true
+			}
+		}
+		return false
+	case GuardAnyTwo:
+		count := 0
+		for _, h := range have {
+			if h {
+				count++
+			}
+		}
+		return count >= 2
+	default:
+		panic("core: unknown guard mode")
+	}
+}
+
+// checkFire triggers the node if it is awake and its guard holds
+// (ready → firing → sleeping in Fig. 7a).
+func (nw *network) checkFire(id int) {
+	st := &nw.nodes[id]
+	if st.sleeping || st.faulty || st.isSource {
+		return
+	}
+	if !nw.guardSatisfied(id) {
+		return
+	}
+	nw.recordTrigger(id, false)
+	nw.broadcast(id)
+	st.sleeping = true
+	st.wakeGen++
+	if nw.cfg.Trace != nil {
+		nw.cfg.Trace.Sleep(id, nw.eng.Now())
+	}
+	dur := nw.rngTimer.TimeIn(nw.cfg.Params.TSleepMin, nw.cfg.Params.TSleepMax)
+	nw.eng.ScheduleEventAfter(dur, evWake, int64(id), int64(st.wakeGen))
+}
+
+// wake ends the sleep phase, forgetting all previously received trigger
+// messages (the boxed flag-clearing transition of Fig. 7a).
+func (nw *network) wake(id int, gen uint32) {
+	st := &nw.nodes[id]
+	if st.wakeGen != gen {
+		return
+	}
+	st.sleeping = false
+	for i := range st.in {
+		if st.in[i].mode == fault.LinkStuck1 {
+			continue // a constant-1 input re-sets its flag immediately
+		}
+		st.in[i].set = false
+		st.in[i].gen++
+	}
+	if nw.cfg.Trace != nil {
+		nw.cfg.Trace.Wake(id, nw.eng.Now())
+	}
+	nw.checkFire(id)
+}
+
+// recordTrigger appends the current time to the node's trigger history.
+func (nw *network) recordTrigger(id int, isSource bool) {
+	nw.triggers[id] = append(nw.triggers[id], nw.eng.Now())
+	if nw.cfg.OnTrigger != nil {
+		nw.cfg.OnTrigger(id, nw.eng.Now())
+	}
+	if nw.cfg.Trace != nil {
+		nw.cfg.Trace.Fire(id, nw.eng.Now(), isSource)
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+import "repro/internal/sim"
+
+// Tracer observes the internal events of a simulation run. All callbacks
+// are invoked synchronously from the event loop in deterministic order; a
+// Tracer must not call back into the network. The trace package provides a
+// Recorder plus independent replay-based audits of the algorithm's
+// semantics built on this interface.
+type Tracer interface {
+	// Send is called when node `from` broadcasts a trigger message over
+	// the link to `to`, with its scheduled arrival time.
+	Send(from, to int, at, arrival sim.Time)
+	// Deliver is called when a message from `from` reaches `to`.
+	// accepted is false when the receiver ignored it (faulty or source
+	// receiver, stuck link, or flag already set).
+	Deliver(from, to int, at sim.Time, accepted bool)
+	// FlagExpire is called when the memory flag of input index `input`
+	// (position in Graph.In(node)) is cleared by its link timer.
+	FlagExpire(node, input int, at sim.Time)
+	// Fire is called when a node triggers; source marks layer-0 pulses.
+	Fire(node int, at sim.Time, source bool)
+	// Sleep is called when a node enters its sleep phase after firing.
+	Sleep(node int, at sim.Time)
+	// Wake is called when a node leaves the sleep phase, clearing its
+	// memory flags.
+	Wake(node int, at sim.Time)
+}

@@ -1,0 +1,115 @@
+// Package delay provides link delay models for HEX simulations.
+//
+// Every fault-free link delivers a trigger message within [d−, d+]
+// (Section 2 of the paper); the models here decide where in that interval
+// each individual message lands: uniformly at random (the paper's
+// simulations), at a fixed value, or fully adversarially (the worst-case
+// constructions of Fig. 5 and Fig. 17).
+package delay
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Bounds is the delay interval [d−, d+] of a fault-free link.
+type Bounds struct {
+	Min sim.Time // d−: minimum end-to-end delay
+	Max sim.Time // d+: maximum end-to-end delay
+}
+
+// Paper is the delay interval used throughout the paper's evaluation
+// (Section 4.2): wire/routing delays in [7, 8] ns combined with the
+// synthesized HEX node's switching delay in [0.161, 0.197] ns.
+var Paper = Bounds{Min: 7161 * sim.Picosecond, Max: 8197 * sim.Picosecond}
+
+// Epsilon returns ε = d+ − d−, the maximal end-to-end delay uncertainty.
+func (b Bounds) Epsilon() sim.Time { return b.Max - b.Min }
+
+// Validate checks 0 < d− ≤ d+.
+func (b Bounds) Validate() error {
+	if b.Min <= 0 {
+		return fmt.Errorf("delay: d− must be positive, got %v", b.Min)
+	}
+	if b.Max < b.Min {
+		return fmt.Errorf("delay: d+ (%v) must be at least d− (%v)", b.Max, b.Min)
+	}
+	return nil
+}
+
+// SatisfiesTriangle reports whether ε ≤ d+/2, the constraint the paper
+// imposes to obtain a triangle-inequality-like property.
+func (b Bounds) SatisfiesTriangle() bool { return b.Epsilon() <= b.Max/2 }
+
+// SatisfiesTheorem1 reports whether ε ≤ d+/7, the stronger requirement of
+// Theorem 1.
+func (b Bounds) SatisfiesTheorem1() bool { return 7*b.Epsilon() <= b.Max }
+
+// String formats the bounds as "[d−, d+]".
+func (b Bounds) String() string { return fmt.Sprintf("[%v, %v]", b.Min, b.Max) }
+
+// Model assigns an end-to-end delay to each message.
+//
+// Implementations must return values within the fault-free bounds they are
+// meant to represent; the simulator does not re-check. rng is the
+// simulation's delay stream and is consumed in deterministic event order.
+type Model interface {
+	Delay(from, to int, at sim.Time, rng *sim.RNG) sim.Time
+}
+
+// Uniform draws every message delay independently and uniformly from
+// [Bounds.Min, Bounds.Max], the model used for all statistical experiments
+// in Section 4.
+type Uniform struct {
+	Bounds Bounds
+}
+
+// Delay implements Model.
+func (u Uniform) Delay(_, _ int, _ sim.Time, rng *sim.RNG) sim.Time {
+	return rng.TimeIn(u.Bounds.Min, u.Bounds.Max)
+}
+
+// Fixed gives every message the same delay D. Fixed{d+} reproduces the
+// "all delays are d+" settings of Fig. 17.
+type Fixed struct {
+	D sim.Time
+}
+
+// Delay implements Model.
+func (f Fixed) Delay(_, _ int, _ sim.Time, _ *sim.RNG) sim.Time { return f.D }
+
+// Func adapts a function to the Model interface; used for the deterministic
+// adversarial delay assignments of the worst-case constructions.
+type Func func(from, to int, at sim.Time, rng *sim.RNG) sim.Time
+
+// Delay implements Model.
+func (f Func) Delay(from, to int, at sim.Time, rng *sim.RNG) sim.Time {
+	return f(from, to, at, rng)
+}
+
+// linkKey identifies a directed link.
+type linkKey struct{ from, to int }
+
+// PerLink assigns fixed delays to specific directed links and delegates the
+// rest to a fallback model. The zero value is not usable; use NewPerLink.
+type PerLink struct {
+	fallback Model
+	delays   map[linkKey]sim.Time
+}
+
+// NewPerLink returns a PerLink model delegating to fallback.
+func NewPerLink(fallback Model) *PerLink {
+	return &PerLink{fallback: fallback, delays: make(map[linkKey]sim.Time)}
+}
+
+// Set fixes the delay of the directed link from→to.
+func (p *PerLink) Set(from, to int, d sim.Time) { p.delays[linkKey{from, to}] = d }
+
+// Delay implements Model.
+func (p *PerLink) Delay(from, to int, at sim.Time, rng *sim.RNG) sim.Time {
+	if d, ok := p.delays[linkKey{from, to}]; ok {
+		return d
+	}
+	return p.fallback.Delay(from, to, at, rng)
+}

@@ -1,0 +1,116 @@
+package delay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPaperBounds(t *testing.T) {
+	if Paper.Min != 7161*sim.Picosecond || Paper.Max != 8197*sim.Picosecond {
+		t.Errorf("Paper bounds = %v", Paper)
+	}
+	if Paper.Epsilon() != 1036*sim.Picosecond {
+		t.Errorf("ε = %v, want 1.036ns", Paper.Epsilon())
+	}
+	if err := Paper.Validate(); err != nil {
+		t.Error(err)
+	}
+	if !Paper.SatisfiesTriangle() {
+		t.Error("paper bounds should satisfy ε ≤ d+/2")
+	}
+	if !Paper.SatisfiesTheorem1() {
+		t.Error("paper bounds should satisfy ε ≤ d+/7")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Bounds{Min: 0, Max: 5}).Validate(); err == nil {
+		t.Error("d− = 0 accepted")
+	}
+	if err := (Bounds{Min: 5, Max: 4}).Validate(); err == nil {
+		t.Error("d+ < d− accepted")
+	}
+	if err := (Bounds{Min: 5, Max: 5}).Validate(); err != nil {
+		t.Errorf("zero-ε bounds rejected: %v", err)
+	}
+}
+
+func TestTheorem1Threshold(t *testing.T) {
+	b := Bounds{Min: 6, Max: 7} // ε = 1 = d+/7
+	if !b.SatisfiesTheorem1() {
+		t.Error("ε = d+/7 should satisfy Theorem 1's requirement")
+	}
+	b = Bounds{Min: 5, Max: 7} // ε = 2 > d+/7
+	if b.SatisfiesTheorem1() {
+		t.Error("ε > d+/7 should not satisfy it")
+	}
+}
+
+func TestUniformStaysInBounds(t *testing.T) {
+	u := Uniform{Bounds: Paper}
+	rng := sim.NewRNG(1)
+	sawMin, sawMax := false, false
+	for i := 0; i < 100000; i++ {
+		d := u.Delay(0, 1, 0, rng)
+		if d < Paper.Min || d > Paper.Max {
+			t.Fatalf("uniform delay %v out of %v", d, Paper)
+		}
+		sawMin = sawMin || d == Paper.Min
+		sawMax = sawMax || d == Paper.Max
+	}
+	if !sawMin || !sawMax {
+		t.Error("uniform delay never reached an endpoint")
+	}
+}
+
+func TestUniformProperty(t *testing.T) {
+	rng := sim.NewRNG(5)
+	f := func(lo uint16, span uint16) bool {
+		b := Bounds{Min: sim.Time(lo) + 1, Max: sim.Time(lo) + 1 + sim.Time(span)}
+		d := Uniform{Bounds: b}.Delay(0, 0, 0, rng)
+		return d >= b.Min && d <= b.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	f := Fixed{D: 42}
+	for i := 0; i < 10; i++ {
+		if d := f.Delay(i, i+1, sim.Time(i), nil); d != 42 {
+			t.Fatalf("Fixed delay = %v", d)
+		}
+	}
+}
+
+func TestFunc(t *testing.T) {
+	m := Func(func(from, to int, at sim.Time, _ *sim.RNG) sim.Time {
+		return sim.Time(from*100 + to)
+	})
+	if d := m.Delay(3, 7, 0, nil); d != 307 {
+		t.Errorf("Func delay = %v", d)
+	}
+}
+
+func TestPerLink(t *testing.T) {
+	p := NewPerLink(Fixed{D: 10})
+	p.Set(1, 2, 99)
+	if d := p.Delay(1, 2, 0, nil); d != 99 {
+		t.Errorf("overridden link delay = %v", d)
+	}
+	if d := p.Delay(2, 1, 0, nil); d != 10 {
+		t.Errorf("reverse direction should use fallback, got %v", d)
+	}
+	if d := p.Delay(3, 4, 0, nil); d != 10 {
+		t.Errorf("fallback delay = %v", d)
+	}
+}
+
+func TestBoundsString(t *testing.T) {
+	if s := Paper.String(); s != "[7.161ns, 8.197ns]" {
+		t.Errorf("String() = %q", s)
+	}
+}

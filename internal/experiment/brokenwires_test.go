@@ -1,0 +1,25 @@
+package experiment
+
+import "testing"
+
+func TestBrokenWiresToleranceAndPrediction(t *testing.T) {
+	o := Options{L: 12, W: 8, Runs: 50, Seed: 3}
+	runs := float64(reducedRuns(o.Runs))
+	fig, err := BrokenWires(o)
+	if err != nil {
+		t.Fatal(err) // also fails if CheckLiveness mispredicts any node
+	}
+	// Zero broken wires: everything completes.
+	if fig.Data["complete_f0"] != runs {
+		t.Errorf("f=0 complete = %v of %v", fig.Data["complete_f0"], runs)
+	}
+	// HEX tolerates many broken wires: at 5 breaks most runs still
+	// complete (far beyond the node-fault budget of this grid size).
+	if fig.Data["complete_f5"] < runs/2 {
+		t.Errorf("f=5 only %v/%v runs complete", fig.Data["complete_f5"], runs)
+	}
+	// Skews stay bounded even at 40 broken wires.
+	if fig.Data["intra_max_f40"] > 40 {
+		t.Errorf("f=40 intra max %v ns", fig.Data["intra_max_f40"])
+	}
+}

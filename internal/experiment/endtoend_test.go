@@ -1,0 +1,25 @@
+package experiment
+
+import "testing"
+
+func TestEndToEndStack(t *testing.T) {
+	fig, err := EndToEnd(Options{L: 12, W: 10, Runs: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every configuration completes: all correct nodes forward all pulses.
+	for _, key := range []string{"s0_n0", "s2_n0", "s0_n2", "s2_n2"} {
+		if fig.Data["complete_"+key] != 1 {
+			t.Errorf("configuration %s incomplete", key)
+		}
+		if fig.Data["intra_max_"+key] <= 0 {
+			t.Errorf("configuration %s has no skew data", key)
+		}
+	}
+	// Source skews stay within a couple of message delays.
+	for _, key := range []string{"s0_n0", "s2_n0", "s0_n2", "s2_n2"} {
+		if fig.Data["src_skew_"+key] > 25 {
+			t.Errorf("source skew %v ns too large for %s", fig.Data["src_skew_"+key], key)
+		}
+	}
+}

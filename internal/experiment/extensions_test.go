@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+)
+
+func TestFig20FrequencyMultiplication(t *testing.T) {
+	fig, err := Fig20(Options{L: 10, W: 8, Runs: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Data["lambda_min_ns"] <= 0 {
+		t.Fatal("no pulse separation measured")
+	}
+	// Shorter oscillator periods allow larger multipliers.
+	m500 := fig.Data["M_period_500ps"]
+	m2000 := fig.Data["M_period_2000ps"]
+	if m500 <= m2000 {
+		t.Errorf("M(0.5ns)=%v not above M(2ns)=%v", m500, m2000)
+	}
+	// Measured fast skew within its bound.
+	for _, p := range []int{500, 1000, 2000} {
+		meas := fig.Data[keyNs("fastskew_meas_ns_%dps", p)]
+		bound := fig.Data[keyNs("fastskew_bound_ns_%dps", p)]
+		if meas > bound+0.001 {
+			t.Errorf("period %dps: measured %.3f exceeds bound %.3f", p, meas, bound)
+		}
+	}
+}
+
+func keyNs(format string, p int) string {
+	switch p {
+	case 500:
+		return format[:len(format)-4] + "500ps"
+	case 1000:
+		return format[:len(format)-4] + "1000ps"
+	default:
+		return format[:len(format)-4] + "2000ps"
+	}
+}
+
+func TestFig21DoublingTopology(t *testing.T) {
+	fig, err := Fig21(Options{Runs: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Data["max_intra_skew_ns"] <= 0 {
+		t.Fatal("no skews measured")
+	}
+	// The analysis of Section 3 suggests doubling layers are not worse by
+	// a large factor; allow 2× headroom.
+	if fig.Data["max_intra_doubling_ns"] > 2*fig.Data["max_intra_normal_ns"]+1 {
+		t.Errorf("doubling layers much worse: %.3f vs %.3f",
+			fig.Data["max_intra_doubling_ns"], fig.Data["max_intra_normal_ns"])
+	}
+}
+
+func TestTreeCompareShapes(t *testing.T) {
+	fig, err := TreeCompare(Options{Runs: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree neighbor skew grows with n; HEX stays roughly flat.
+	t64, t1024 := fig.Data["tree_skew_max_n64"], fig.Data["tree_skew_max_n1024"]
+	if t1024 <= t64 {
+		t.Errorf("tree skew did not grow with size: %.3f → %.3f", t64, t1024)
+	}
+	h64, h1024 := fig.Data["hex_skew_max_n64"], fig.Data["hex_skew_max_n1024"]
+	if h1024 > 3*h64+1 {
+		t.Errorf("hex skew grew too much with size: %.3f → %.3f", h64, h1024)
+	}
+	// Every single tree fault silences a whole subtree (at least the 4
+	// leaves below a deepest buffer); HEX loses none.
+	if fig.Data["tree_dead_max_n1024"] < 4 {
+		t.Errorf("tree blast radius %v impossible for a buffer fault", fig.Data["tree_dead_max_n1024"])
+	}
+}
+
+func TestAblationGuardShape(t *testing.T) {
+	fig, err := AblationGuard(Options{L: 10, W: 8, Runs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Safety: only the naive guard emits the false pulse.
+	if fig.Data["false_pulse_adjacent-pair"] != 0 {
+		t.Error("Algorithm 1's guard produced a false pulse")
+	}
+	if fig.Data["false_pulse_any-two"] != 1 {
+		t.Error("any-two guard did not produce the false pulse")
+	}
+	// Liveness trade-off: the crash pair starves the victim only under
+	// Algorithm 1's guard.
+	if fig.Data["victim_alive_adjacent-pair"] != 0 {
+		t.Error("victim survived crash pair under adjacent guard")
+	}
+	if fig.Data["victim_alive_any-two"] != 1 {
+		t.Error("victim starved under any-two guard")
+	}
+}
+
+func TestAblationEpsilonWithinBounds(t *testing.T) {
+	fig, err := AblationEpsilon(Options{L: 10, W: 8, Runs: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured max skews must stay within Theorem 1's bound for all swept
+	// ratios (the theorem only guarantees it for ε ≤ d+/7, but the bound
+	// formula held empirically beyond that too).
+	for _, den := range []int{14, 7, 4, 2} {
+		meas := fig.Data[epsKey("intra_max_eps_1_", den)]
+		bound := fig.Data[epsKey("bound_eps_1_", den)]
+		if meas <= 0 {
+			t.Errorf("ε=d+/%d: no skew measured", den)
+		}
+		if meas > bound+0.001 {
+			t.Errorf("ε=d+/%d: measured %.3f above bound %.3f", den, meas, bound)
+		}
+	}
+	_ = delay.Paper
+}
+
+func epsKey(prefix string, den int) string {
+	switch den {
+	case 14:
+		return prefix + "14"
+	case 7:
+		return prefix + "7"
+	case 4:
+		return prefix + "4"
+	default:
+		return prefix + "2"
+	}
+}

@@ -1,0 +1,28 @@
+package experiment
+
+import "testing"
+
+func TestGALSSkews(t *testing.T) {
+	fig, err := GALS(Options{L: 10, W: 8, Runs: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := fig.Data["intra_domain_max_ns"]
+	inter := fig.Data["inter_domain_max_ns"]
+	if intra <= 0 || inter <= 0 {
+		t.Fatal("missing skew data")
+	}
+	// Cross-domain skew is dominated by the HEX neighbor skew and must
+	// exceed the local-tree-only intra-domain skew …
+	if inter <= intra {
+		t.Errorf("inter-domain max %.3f not above intra-domain max %.3f", inter, intra)
+	}
+	// … but stays bounded (HEX skew + two small local trees).
+	if inter > 20 {
+		t.Errorf("inter-domain max %.3f ns implausibly large", inter)
+	}
+	// Local trees alone are sub-ns.
+	if intra > 1 {
+		t.Errorf("intra-domain max %.3f ns too large for depth-2 trees", intra)
+	}
+}

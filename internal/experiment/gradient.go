@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/layout"
+	"repro/internal/render"
+	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/stats"
+	"repro/internal/theory"
+)
+
+// GradientSkew measures how the intra-layer skew grows with the column
+// distance between two nodes — the gradient property behind the paper's
+// introduction: no algorithm beats Dε/2 globally [19] or Ω(ε log D)
+// between neighbors [20], and HEX's neighbor skew of O(Dε²) sits between
+// the two. The experiment reports, per column distance k, the average and
+// maximum |t_{ℓ,i} − t_{ℓ,i+k}| over runs, next to the k·d− "causal floor"
+// and the global Dε/2 context bound.
+func GradientSkew(o Options) (*FigResult, error) {
+	o = o.WithDefaults()
+	spec := Spec{
+		L: o.L, W: o.W, Runs: o.Runs, Seed: o.Seed,
+		Scenario: source.Zero,
+	}.WithDefaults()
+	outs, err := RunMany(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	distances := []int{1, 2, 3, 4}
+	for k := 8; k <= o.W/2; k *= 2 {
+		distances = append(distances, k)
+	}
+
+	fig := newFig("Gradient: intra-layer skew vs. column distance (scenario (i), fault-free)")
+	t := &render.Table{
+		Header: []string{"distance k", "avg [ns]", "q95 [ns]", "max [ns]", "max/k [ns]"},
+		Note:   "skews measured over the settled layers ℓ ≥ W−2, all runs",
+	}
+	var maxPerK []float64
+	for _, k := range distances {
+		var vals []float64
+		for _, out := range outs {
+			h := out.Hex
+			w := out.Wave
+			for l := o.W - 2; l <= h.L; l++ {
+				for i := 0; i < h.W; i++ {
+					a, b := h.NodeID(l, i), h.NodeID(l, i+k)
+					if !w.Valid(a) || !w.Valid(b) {
+						continue
+					}
+					vals = append(vals, sim.AbsTime(w.T[a]-w.T[b]).Nanoseconds())
+				}
+			}
+		}
+		s := stats.Summarize(vals)
+		t.AddRow(fmt.Sprintf("%d", k), render.Ns(s.Avg), render.Ns(s.Q95),
+			render.Ns(s.Max), render.Ns(s.Max/float64(k)))
+		fig.Data[fmt.Sprintf("max_dist_%d", k)] = s.Max
+		fig.Data[fmt.Sprintf("avg_dist_%d", k)] = s.Avg
+		maxPerK = append(maxPerK, s.Max)
+	}
+	fig.Sections = append(fig.Sections, t.String())
+
+	h, err := spec.buildGrid()
+	if err != nil {
+		return nil, err
+	}
+	diam := h.Diameter()
+	fig.Sections = append(fig.Sections, fmt.Sprintf(
+		"context: diameter D=%d, global lower bound Dε/2 = %v, gradient lower bound Ω(ε log D) ≈ %v",
+		diam,
+		theory.DiameterLowerBound(diam, spec.Bounds),
+		theory.GradientLowerBound(diam, spec.Bounds)))
+	fig.Data["diameter_bound_ns"] = theory.DiameterLowerBound(diam, spec.Bounds).Nanoseconds()
+	_ = fault.Correct
+	return fig, nil
+}
+
+// EmbeddingComparison quantifies Section 5's embedding discussion: the
+// flattened cylinder puts nodes from opposite sides of the HEX cylinder
+// physically next to each other although they are Θ(W) hops apart in the
+// grid (so their skew can be large and "half of the nodes cannot be used
+// for clocking"), while the circular doubling-layer embedding keeps
+// physically close nodes graph-close with bounded link lengths.
+func EmbeddingComparison(o Options) (*FigResult, error) {
+	o = o.WithDefaults()
+	h, err := grid.NewHex(o.L, o.W)
+	if err != nil {
+		return nil, err
+	}
+	flat := layout.FlattenedCylinder(h)
+	d, err := grid.NewDoubling(6, grid.GeometricDoubling(12))
+	if err != nil {
+		return nil, err
+	}
+	circ := layout.Circular(d)
+
+	fig := newFig("Embedding: flattened cylinder vs. circular doubling layout (Section 5)")
+	t := &render.Table{
+		Header: []string{"embedding", "nodes", "max link [pitch]", "worst proximity gap [hops]"},
+		Note:   "proximity gap = grid distance of the worst physically adjacent pair (radius 1 pitch)",
+	}
+	flatGap, _, _ := flat.WorstProximityGap(1.0)
+	circGap, _, _ := circ.WorstProximityGap(1.0)
+	t.AddRow("flattened cylinder", fmt.Sprintf("%d", h.NumNodes()),
+		fmt.Sprintf("%.2f", flat.MaxLinkLength()), fmt.Sprintf("%d", flatGap))
+	t.AddRow("circular doubling", fmt.Sprintf("%d", d.NumNodes()),
+		fmt.Sprintf("%.2f", circ.MaxLinkLength()), fmt.Sprintf("%d", circGap))
+	fig.Sections = append(fig.Sections, t.String())
+	fig.Data["flat_gap_hops"] = float64(flatGap)
+	fig.Data["circular_gap_hops"] = float64(circGap)
+	fig.Data["flat_max_link"] = flat.MaxLinkLength()
+	fig.Data["circular_max_link"] = circ.MaxLinkLength()
+	return fig, nil
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import "testing"
+
+func TestGradientSkewSublinear(t *testing.T) {
+	fig, err := GradientSkew(Options{L: 20, W: 16, Runs: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gradient property: skew at distance 8 is far below 8× the
+	// neighbor skew (it grows sublinearly in distance).
+	d1, d8 := fig.Data["max_dist_1"], fig.Data["max_dist_8"]
+	if d1 <= 0 || d8 <= 0 {
+		t.Fatal("missing gradient data")
+	}
+	if d8 > 4*d1 {
+		t.Errorf("skew at distance 8 (%.3f) not sublinear vs distance 1 (%.3f)", d8, d1)
+	}
+	// And everything stays below the global Dε/2 context bound.
+	if d8 > fig.Data["diameter_bound_ns"] {
+		t.Errorf("distance-8 skew %.3f exceeds Dε/2 = %.3f", d8, fig.Data["diameter_bound_ns"])
+	}
+}
+
+func TestExtensionHexPlusMitigatesFaults(t *testing.T) {
+	fig, err := ExtensionHexPlus(Options{L: 15, W: 10, Runs: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 5's prediction: the fault-induced *average* skew growth of
+	// plain HEX is mitigated by the extra lower in-neighbors. Compare the
+	// growth from f=0 to f=4 on both topologies.
+	growHex := fig.Data["intra_avg_HEX_f4"] - fig.Data["intra_avg_HEX_f0"]
+	growPlus := fig.Data["intra_avg_HEX+_f4"] - fig.Data["intra_avg_HEX+_f0"]
+	if growPlus >= growHex {
+		t.Errorf("HEX+ avg growth %.3f not below HEX growth %.3f", growPlus, growHex)
+	}
+	// HEX+ fault-free skews are no worse than plain HEX's.
+	if fig.Data["intra_avg_HEX+_f0"] > fig.Data["intra_avg_HEX_f0"]+0.1 {
+		t.Errorf("HEX+ fault-free avg %.3f worse than HEX %.3f",
+			fig.Data["intra_avg_HEX+_f0"], fig.Data["intra_avg_HEX_f0"])
+	}
+}
+
+func TestEmbeddingComparisonShapes(t *testing.T) {
+	fig, err := EmbeddingComparison(Options{L: 15, W: 12, Runs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flattening creates physically adjacent pairs that are ≈W/2 hops
+	// apart; the circular embedding keeps them graph-adjacent.
+	if fig.Data["flat_gap_hops"] < 5 {
+		t.Errorf("flat proximity gap %v too small for W=12", fig.Data["flat_gap_hops"])
+	}
+	if fig.Data["circular_gap_hops"] > 3 {
+		t.Errorf("circular proximity gap %v too large", fig.Data["circular_gap_hops"])
+	}
+	if fig.Data["flat_gap_hops"] <= fig.Data["circular_gap_hops"] {
+		t.Error("embedding comparison lost its point")
+	}
+}

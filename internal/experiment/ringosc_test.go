@@ -1,0 +1,19 @@
+package experiment
+
+import "testing"
+
+func TestRingOscCompare(t *testing.T) {
+	fig, err := RingOscCompare(Options{Runs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Data["ringosc_alive_healthy"] != 256 {
+		t.Errorf("healthy oscillator: %v alive", fig.Data["ringosc_alive_healthy"])
+	}
+	if fig.Data["ringosc_alive_faulty"] != 0 {
+		t.Errorf("faulty oscillator still alive: %v", fig.Data["ringosc_alive_faulty"])
+	}
+	if fig.Data["hex_alive_faulty"] != 255 {
+		t.Errorf("HEX with one fault: %v of 256 clocked", fig.Data["hex_alive_faulty"])
+	}
+}

@@ -1,0 +1,44 @@
+package experiment
+
+import "testing"
+
+func TestScalingStaysWithinBounds(t *testing.T) {
+	fig, err := Scaling(Options{Runs: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{8, 16, 32, 64} {
+		max := fig.Data[intKey("intra_max_W", w)]
+		bound := fig.Data[intKey("bound_W", w)]
+		if max > bound+0.001 {
+			t.Errorf("W=%d: measured %.3f above Theorem 1 bound %.3f", w, max, bound)
+		}
+		if w-2 <= 50 { // Lemma 3 needs layers ≥ W−2 to exist
+			dm, okD := fig.Data[intKey("delta_max_W", w)]
+			l3, okL := fig.Data[intKey("lemma3_W", w)]
+			if !okD || !okL {
+				t.Errorf("W=%d: skew potential data missing", w)
+			} else if dm > l3+0.001 {
+				t.Errorf("W=%d: skew potential %.3f above Lemma 3 bound %.3f", w, dm, l3)
+			}
+		}
+	}
+	// Typical skews stay flat while the grid grows 8×.
+	if fig.Data["intra_avg_W64"] > 2*fig.Data["intra_avg_W8"]+0.1 {
+		t.Errorf("average skew grew with width: %.3f → %.3f",
+			fig.Data["intra_avg_W8"], fig.Data["intra_avg_W64"])
+	}
+}
+
+func intKey(prefix string, w int) string {
+	switch w {
+	case 8:
+		return prefix + "8"
+	case 16:
+		return prefix + "16"
+	case 32:
+		return prefix + "32"
+	default:
+		return prefix + "64"
+	}
+}

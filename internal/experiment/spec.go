@@ -1,0 +1,226 @@
+// Package experiment defines the paper's evaluation scenarios and drives
+// them: single-pulse skew statistics (Tables 1–2, Figs. 8–17), the
+// self-stabilization experiments (Table 3, Figs. 18–19), the Section 5
+// extensions (Figs. 20–21) and the clock-tree comparison behind the title
+// claim. Multi-run experiments execute runs in parallel across goroutines;
+// each run is an independent deterministic simulation keyed by (Spec, run
+// index).
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// Spec describes a family of single-pulse runs.
+type Spec struct {
+	// L, W are the grid dimensions (defaults 50, 20, the paper's grid).
+	L, W int
+	// Bounds is the link delay interval (default delay.Paper).
+	Bounds delay.Bounds
+	// Scenario selects the layer-0 skews.
+	Scenario source.Scenario
+	// Faults is the number of faulty nodes, placed uniformly at random
+	// under Condition 1.
+	Faults int
+	// FaultType is the failure mode of the faulty nodes (default
+	// Byzantine when Faults > 0).
+	FaultType fault.Behavior
+	// Runs is the number of independent runs (default 250, as in the
+	// paper).
+	Runs int
+	// Seed is the experiment master seed (default 1).
+	Seed uint64
+	// Params overrides the algorithm parameters; zero value uses
+	// DefaultParams with Bounds.
+	Params core.Params
+	// HexPlus runs on the augmented topology of Section 5 (two additional
+	// lower in-neighbors per node) instead of the plain HEX grid.
+	HexPlus bool
+}
+
+// WithDefaults fills unset fields with the paper's defaults.
+func (s Spec) WithDefaults() Spec {
+	if s.L == 0 {
+		s.L = 50
+	}
+	if s.W == 0 {
+		s.W = 20
+	}
+	if s.Bounds == (delay.Bounds{}) {
+		s.Bounds = delay.Paper
+	}
+	if s.Runs == 0 {
+		s.Runs = 250
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Faults > 0 && s.FaultType == fault.Correct {
+		s.FaultType = fault.Byzantine
+	}
+	if s.Params == (core.Params{}) {
+		s.Params = core.DefaultParams()
+		s.Params.Bounds = s.Bounds
+	}
+	return s
+}
+
+// RunOut is the outcome of one single-pulse run.
+type RunOut struct {
+	Hex  *grid.Hex
+	Plan *fault.Plan
+	Res  *core.Result
+	Wave *analysis.Wave
+}
+
+// runSeed derives the master seed of run idx of a spec.
+func (s Spec) runSeed(idx int) uint64 {
+	return sim.DeriveSeed(s.Seed,
+		s.Scenario.Name(),
+		fmt.Sprintf("L%d-W%d", s.L, s.W),
+		fmt.Sprintf("f%d-%s", s.Faults, s.FaultType),
+		fmt.Sprintf("run%d", idx))
+}
+
+// buildGrid constructs the spec's topology.
+func (s Spec) buildGrid() (*grid.Hex, error) {
+	if s.HexPlus {
+		return grid.NewHexPlus(s.L, s.W)
+	}
+	return grid.NewHex(s.L, s.W)
+}
+
+// RunOne executes run number idx of the spec.
+func RunOne(s Spec, idx int) (*RunOut, error) {
+	s = s.WithDefaults()
+	h, err := s.buildGrid()
+	if err != nil {
+		return nil, err
+	}
+	return runOnGrid(s, h, idx)
+}
+
+func runOnGrid(s Spec, h *grid.Hex, idx int) (*RunOut, error) {
+	seed := s.runSeed(idx)
+	offsets := source.Offsets(s.Scenario, s.W, s.Bounds,
+		sim.NewRNG(sim.DeriveSeed(seed, "offsets")))
+
+	plan := fault.NewPlan(h.NumNodes())
+	if s.Faults > 0 {
+		rngF := sim.NewRNG(sim.DeriveSeed(seed, "faults"))
+		placed, err := fault.PlaceRandom(h.Graph, s.Faults, nil, rngF, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range placed {
+			plan.SetBehavior(n, s.FaultType)
+		}
+		if s.FaultType == fault.Byzantine {
+			plan.RandomizeByzantine(h.Graph, rngF)
+		}
+	}
+
+	res, err := core.Run(core.Config{
+		Graph:    h.Graph,
+		Params:   s.Params,
+		Delay:    delay.Uniform{Bounds: s.Bounds},
+		Faults:   plan,
+		Schedule: source.SinglePulse(offsets),
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunOut{
+		Hex:  h,
+		Plan: plan,
+		Res:  res,
+		Wave: analysis.WaveFromResult(h.Graph, res, plan, 0),
+	}, nil
+}
+
+// RunMany executes all runs of the spec across a worker pool and returns
+// them in run-index order.
+func RunMany(s Spec) ([]*RunOut, error) {
+	s = s.WithDefaults()
+	outs := make([]*RunOut, s.Runs)
+	errs := make([]error, s.Runs)
+	parallelFor(s.Runs, func(idx int) {
+		// Each run builds its own grid so runs share no mutable state.
+		h, err := s.buildGrid()
+		if err != nil {
+			errs[idx] = err
+			return
+		}
+		outs[idx], errs[idx] = runOnGrid(s, h, idx)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// parallelFor runs body(0..n-1) across min(GOMAXPROCS, n) workers.
+func parallelFor(n int, body func(idx int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				body(idx)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// CollectSkews gathers intra- and inter-layer skews (in ns) over all runs,
+// after excluding the h-hop outgoing neighborhoods of faulty nodes.
+func CollectSkews(outs []*RunOut, hops int) (intra, inter []float64) {
+	for _, o := range outs {
+		w := o.Wave
+		if hops > 0 {
+			w = cloneWave(w)
+			w.ExcludeFaultyNeighborhood(o.Plan, hops)
+		}
+		intra = append(intra, w.IntraSkews()...)
+		inter = append(inter, w.InterSkews()...)
+	}
+	return intra, inter
+}
+
+// cloneWave copies a wave so exclusions don't mutate the original.
+func cloneWave(w *analysis.Wave) *analysis.Wave {
+	c := analysis.NewWave(w.G)
+	copy(c.T, w.T)
+	copy(c.Excluded, w.Excluded)
+	return c
+}

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/theory"
+)
+
+func testTimeouts() theory.Timeouts {
+	return theory.Condition2(3*delay.Paper.Max, delay.Paper, 12, 2, theory.PaperDrift)
+}
+
+func TestStabSpecDefaults(t *testing.T) {
+	s := StabSpec{}.WithDefaults()
+	if s.Pulses != 10 || s.Runs != 250 || s.L != 50 || s.W != 20 {
+		t.Errorf("defaults: %+v", s)
+	}
+}
+
+func TestStabRunFaultFreeStabilizes(t *testing.T) {
+	s := StabSpec{
+		L: 10, W: 8, Runs: 4, Pulses: 8, Seed: 3,
+		Scenario: source.UniformDPlus, Timeouts: testTimeouts(),
+	}
+	outs, err := StabRunMany(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := EvaluateStabilization(outs, s, 1, 0)
+	if st.Stabilized != st.Runs {
+		t.Errorf("only %d/%d runs stabilized", st.Stabilized, st.Runs)
+	}
+	// With link timeouts, stabilization within the first few pulses.
+	if st.AvgPulse > 3 {
+		t.Errorf("avg stabilization pulse %.2f too late", st.AvgPulse)
+	}
+}
+
+func TestStabRunWithByzantineFaults(t *testing.T) {
+	s := StabSpec{
+		L: 10, W: 8, Runs: 4, Pulses: 8, Seed: 5,
+		Scenario: source.UniformDPlus, Faults: 1, FaultType: fault.Byzantine,
+		Timeouts: testTimeouts(),
+	}
+	outs, err := StabRunMany(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservative threshold (C=0) should stabilize most runs despite the
+	// fault; h=1 exclusion must do at least as well.
+	st0 := EvaluateStabilization(outs, s, 0, 0)
+	st1 := EvaluateStabilization(outs, s, 0, 1)
+	if st1.Stabilized < st0.Stabilized {
+		t.Errorf("h=1 (%d) stabilized fewer runs than h=0 (%d)", st1.Stabilized, st0.Stabilized)
+	}
+	if st1.Stabilized == 0 {
+		t.Error("no run stabilized even with 1-hop exclusion")
+	}
+}
+
+func TestSigmaChoiceShapes(t *testing.T) {
+	b := delay.Paper
+	// C = 0: Lemma 5-style, grows with layer and f.
+	s0 := SigmaChoice(0, source.UniformDPlus, 20, 2, b)
+	if s0(5) >= s0(10) {
+		t.Error("C=0 threshold not increasing in layer")
+	}
+	s0f := SigmaChoice(0, source.UniformDPlus, 20, 5, b)
+	if s0(5) >= s0f(5) {
+		t.Error("C=0 threshold not increasing in f")
+	}
+	// C ≥ 1: constant (4−C)·d+ above layer 0.
+	for c := 1; c <= 3; c++ {
+		sc := SigmaChoice(c, source.UniformDPlus, 20, 2, b)
+		want := sim.Time(4-c) * b.Max
+		if sc(1) != want || sc(30) != want {
+			t.Errorf("C=%d threshold = %v, want %v", c, sc(1), want)
+		}
+	}
+	// Layer-0 value reflects the scenario's neighbor skew bound.
+	if SigmaChoice(1, source.Zero, 20, 0, b)(0) != 0 {
+		t.Error("scenario (i) layer-0 sigma should be 0")
+	}
+	if SigmaChoice(1, source.Ramp, 20, 0, b)(0) != b.Max {
+		t.Error("ramp layer-0 sigma should be d+")
+	}
+}
+
+func TestEvaluateStabilizationDoesNotMutate(t *testing.T) {
+	s := StabSpec{
+		L: 8, W: 6, Runs: 2, Pulses: 6, Seed: 7,
+		Scenario: source.Zero, Faults: 1, Timeouts: testTimeouts(),
+	}
+	outs, err := StabRunMany(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := outs[0].PA.Waves[2].TriggeredCount()
+	EvaluateStabilization(outs, s, 1, 1) // h=1 must clone, not mutate
+	after := outs[0].PA.Waves[2].TriggeredCount()
+	if before != after {
+		t.Error("EvaluateStabilization mutated the stored assignment")
+	}
+}
+
+func TestAblationLinkTimeoutsShape(t *testing.T) {
+	fig, err := AblationLinkTimeouts(Options{L: 10, W: 8, Runs: 6, Seed: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := fig.Data["stabilized_timers_on_C1"]
+	off := fig.Data["stabilized_timers_off_C1"]
+	if on < off {
+		t.Errorf("link timers made stabilization worse: on=%v off=%v", on, off)
+	}
+	if on == 0 {
+		t.Error("nothing stabilized with timers on")
+	}
+}

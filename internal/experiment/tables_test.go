@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/source"
+)
+
+func cell(t *testing.T, row []string, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(row[col], 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", row[col], err)
+	}
+	return v
+}
+
+func TestTable1Shape(t *testing.T) {
+	tb, err := Table1(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Columns: 2 labels + intra avg,q95,max + inter min,q5,avg,q95,max.
+	for _, row := range tb.Rows {
+		if len(row) != 10 {
+			t.Fatalf("row has %d cells", len(row))
+		}
+	}
+	b := delay.Paper
+	for i, row := range tb.Rows {
+		avg, q95, max := cell(t, row, 2), cell(t, row, 3), cell(t, row, 4)
+		if !(avg <= q95 && q95 <= max) {
+			t.Errorf("row %d intra ordering broken: %v", i, row)
+		}
+		imin := cell(t, row, 5)
+		imax := cell(t, row, 9)
+		if imin > imax {
+			t.Errorf("row %d inter ordering broken", i)
+		}
+		// Scenarios (i)–(iii): all nodes triggered by lower neighbors, so
+		// inter min ≈ d− (paper's observation).
+		if i < 3 && imin < b.Min.Nanoseconds()-0.01 {
+			t.Errorf("row %d inter min %.3f < d−", i, imin)
+		}
+	}
+	// Paper shape: ramp scenario (iv) has the largest intra averages.
+	if cell(t, tb.Rows[3], 2) <= cell(t, tb.Rows[0], 2) {
+		t.Error("ramp scenario should have larger avg intra skew than scenario (i)")
+	}
+}
+
+func TestTable2WorseThanTable1(t *testing.T) {
+	o := small()
+	t1, err := Table1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One Byzantine node must not reduce every skew statistic; at least
+	// the max intra skew over all scenarios should grow.
+	var max1, max2 float64
+	for i := range t1.Rows {
+		if v := cell(t, t1.Rows[i], 4); v > max1 {
+			max1 = v
+		}
+		if v := cell(t, t2.Rows[i], 4); v > max2 {
+			max2 = v
+		}
+	}
+	if max2 <= max1 {
+		t.Errorf("Byzantine max intra %.3f not above fault-free %.3f", max2, max1)
+	}
+}
+
+func TestStableSkews(t *testing.T) {
+	o := small()
+	o.Runs = 4
+	sig, err := StableSkews(o, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != 4 {
+		t.Fatalf("got %d scenarios", len(sig))
+	}
+	b := delay.Paper
+	for sc, s := range sig {
+		// σ includes the d+ slack, so it exceeds d+.
+		if s <= b.Max {
+			t.Errorf("scenario %v: σ = %v too small", sc, s)
+		}
+	}
+	// Ramp should need the largest stable skew (paper Table 3 ordering).
+	if sig[source.Ramp] <= sig[source.Zero] {
+		t.Errorf("σ(ramp)=%v not above σ(zero)=%v", sig[source.Ramp], sig[source.Zero])
+	}
+}
+
+func TestTable3ConsistentWithCondition2(t *testing.T) {
+	o := small()
+	o.Runs = 4
+	tb, timeouts, err := Table3(o, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 || len(timeouts) != 4 {
+		t.Fatal("table 3 shape wrong")
+	}
+	for _, to := range timeouts {
+		if to.TLinkMin >= to.TLinkMax || to.TSleepMin >= to.TSleepMax {
+			t.Error("ϑ-stretching missing")
+		}
+		if to.TSleepMin != 2*to.TLinkMax+2*delay.Paper.Max {
+			t.Error("T−sleep formula broken")
+		}
+		if to.Separation <= to.TSleepMin+to.TSleepMax {
+			t.Error("S too small")
+		}
+	}
+	// Rows carry 8 columns each and parse as numbers from column 2 on.
+	for _, row := range tb.Rows {
+		if len(row) != 8 {
+			t.Fatalf("row has %d cells", len(row))
+		}
+		prev := 0.0
+		for c := 3; c < 8; c++ {
+			v := cell(t, row, c)
+			if v < prev { // T−link ≤ T+link ≤ T−sleep ≤ T+sleep ≤ S
+				t.Errorf("timeout ordering broken in row %v", row)
+			}
+			prev = v
+		}
+	}
+}

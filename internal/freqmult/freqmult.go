@@ -1,0 +1,111 @@
+// Package freqmult implements the frequency multiplication extension of
+// Section 5 (Fig. 20): each HEX node synchronizes a local start/stoppable
+// high-frequency oscillator to the (comparatively infrequent) HEX pulses,
+// emitting a fixed number of fast clock ticks per pulse inside a window
+// shorter than the minimal pulse separation Λmin, so the oscillator restarts
+// metastability-free with the next pulse.
+package freqmult
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/theory"
+)
+
+// Params describe one node's fast clock.
+type Params struct {
+	// NominalPeriod is the oscillator's nominal tick period.
+	NominalPeriod sim.Time
+	// Multiplier M is the number of fast ticks emitted per HEX pulse.
+	Multiplier int
+	// Drift ϑ bounds the oscillator's rate error: the actual period lies
+	// in [NominalPeriod, ϑ·NominalPeriod].
+	Drift theory.Drift
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.NominalPeriod <= 0 {
+		return fmt.Errorf("freqmult: nominal period must be positive, got %v", p.NominalPeriod)
+	}
+	if p.Multiplier < 1 {
+		return fmt.Errorf("freqmult: multiplier must be at least 1, got %d", p.Multiplier)
+	}
+	if p.Drift.Num < p.Drift.Den || p.Drift.Den <= 0 {
+		return fmt.Errorf("freqmult: drift must be a rational ≥ 1")
+	}
+	return nil
+}
+
+// WindowRequired returns the worst-case time span of the M ticks,
+// M·ϑ·NominalPeriod, which must not exceed the minimal pulse separation
+// Λmin at the node (Fig. 20).
+func (p Params) WindowRequired() sim.Time {
+	return p.Drift.Stretch(sim.Time(p.Multiplier) * p.NominalPeriod)
+}
+
+// FitsWindow reports whether the tick train fits into a pulse separation of
+// lambdaMin.
+func (p Params) FitsWindow(lambdaMin sim.Time) bool {
+	return p.WindowRequired() <= lambdaMin
+}
+
+// MaxMultiplier returns the largest M such that M·ϑ·period ≤ lambdaMin.
+func MaxMultiplier(lambdaMin, period sim.Time, drift theory.Drift) int {
+	if period <= 0 {
+		panic("freqmult: non-positive period")
+	}
+	worst := drift.Stretch(period)
+	if worst <= 0 {
+		return 0
+	}
+	return int(lambdaMin / worst)
+}
+
+// SkewBound returns the worst-case fast-clock skew between neighbors: the
+// HEX pulse skew plus the drift-accumulation term ρ·window ≈ (ϑ−1)·M·period
+// (Section 5: "the achievable worst-case skew of the fast clock ... equal
+// to the HEX clock skew plus an additive term of roughly ρΛmin").
+func SkewBound(hexSkew sim.Time, p Params) sim.Time {
+	window := sim.Time(p.Multiplier) * p.NominalPeriod
+	return hexSkew + (p.Drift.Stretch(window) - window)
+}
+
+// EffectiveFrequencyGHz returns the amortized fast clock frequency in GHz
+// for pulses separated by `separation`: M ticks per separation.
+func EffectiveFrequencyGHz(p Params, separation sim.Time) float64 {
+	if separation <= 0 {
+		return 0
+	}
+	return float64(p.Multiplier) / separation.Nanoseconds()
+}
+
+// Ticks generates the fast tick times of one node for one pulse arriving at
+// pulseTime. The oscillator restarts at the pulse and runs with a random
+// rate in [1, ϑ], fixed for the train (a slowly drifting oscillator).
+func Ticks(pulseTime sim.Time, p Params, rng *sim.RNG) []sim.Time {
+	// Draw the actual period uniformly in [nominal, ϑ·nominal].
+	actual := rng.TimeIn(p.NominalPeriod, p.Drift.Stretch(p.NominalPeriod))
+	out := make([]sim.Time, p.Multiplier)
+	for j := 0; j < p.Multiplier; j++ {
+		out[j] = pulseTime + sim.Time(j+1)*actual
+	}
+	return out
+}
+
+// MeasureSkew returns the maximum |a[j] − b[j]| over two equally long tick
+// trains — the fast-clock skew between two neighbors for one pulse.
+func MeasureSkew(a, b []sim.Time) sim.Time {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var max sim.Time
+	for j := 0; j < n; j++ {
+		if s := sim.AbsTime(a[j] - b[j]); s > max {
+			max = s
+		}
+	}
+	return max
+}

@@ -1,0 +1,135 @@
+package freqmult
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/theory"
+)
+
+func TestValidate(t *testing.T) {
+	good := Params{NominalPeriod: sim.Nanosecond, Multiplier: 8, Drift: theory.PaperDrift}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := good
+	bad.NominalPeriod = 0
+	if bad.Validate() == nil {
+		t.Error("zero period accepted")
+	}
+	bad = good
+	bad.Multiplier = 0
+	if bad.Validate() == nil {
+		t.Error("zero multiplier accepted")
+	}
+	bad = good
+	bad.Drift = theory.Drift{Num: 99, Den: 100} // < 1
+	if bad.Validate() == nil {
+		t.Error("drift < 1 accepted")
+	}
+}
+
+func TestWindowRequired(t *testing.T) {
+	p := Params{NominalPeriod: sim.Nanosecond, Multiplier: 10, Drift: theory.PaperDrift}
+	// 10ns · 1.05 = 10.5ns.
+	if got := p.WindowRequired(); got != 10500*sim.Picosecond {
+		t.Errorf("window = %v", got)
+	}
+	if !p.FitsWindow(10500 * sim.Picosecond) {
+		t.Error("exact fit rejected")
+	}
+	if p.FitsWindow(10499 * sim.Picosecond) {
+		t.Error("overfull window accepted")
+	}
+}
+
+func TestMaxMultiplier(t *testing.T) {
+	// Λmin = 100ns, period 1ns, ϑ = 1.05 → worst tick 1.05ns → M = 95.
+	m := MaxMultiplier(100*sim.Nanosecond, sim.Nanosecond, theory.PaperDrift)
+	if m != 95 {
+		t.Errorf("MaxMultiplier = %d, want 95", m)
+	}
+	// The resulting params must fit.
+	p := Params{NominalPeriod: sim.Nanosecond, Multiplier: m, Drift: theory.PaperDrift}
+	if !p.FitsWindow(100 * sim.Nanosecond) {
+		t.Error("MaxMultiplier result does not fit its window")
+	}
+	p.Multiplier = m + 1
+	if p.FitsWindow(100 * sim.Nanosecond) {
+		t.Error("M+1 should not fit")
+	}
+}
+
+func TestSkewBound(t *testing.T) {
+	p := Params{NominalPeriod: sim.Nanosecond, Multiplier: 100, Drift: theory.PaperDrift}
+	// Drift term: 100ns·0.05 = 5ns on top of the HEX skew.
+	if got := SkewBound(8197, p); got != 8197+5000 {
+		t.Errorf("SkewBound = %v", got)
+	}
+}
+
+func TestEffectiveFrequency(t *testing.T) {
+	p := Params{NominalPeriod: sim.Nanosecond, Multiplier: 250, Drift: theory.PaperDrift}
+	f := EffectiveFrequencyGHz(p, 250*sim.Nanosecond)
+	if f != 1.0 {
+		t.Errorf("freq = %v GHz, want 1.0", f)
+	}
+	if EffectiveFrequencyGHz(p, 0) != 0 {
+		t.Error("zero separation should yield 0")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	p := Params{NominalPeriod: sim.Nanosecond, Multiplier: 16, Drift: theory.PaperDrift}
+	rng := sim.NewRNG(3)
+	base := sim.Time(1000000)
+	ticks := Ticks(base, p, rng)
+	if len(ticks) != 16 {
+		t.Fatalf("got %d ticks", len(ticks))
+	}
+	// Strictly increasing, equally spaced, period within [nominal, ϑ·nominal].
+	period := ticks[0] - base
+	if period < p.NominalPeriod || period > theory.PaperDrift.Stretch(p.NominalPeriod) {
+		t.Errorf("period %v out of drift range", period)
+	}
+	for j := 1; j < len(ticks); j++ {
+		if ticks[j]-ticks[j-1] != period {
+			t.Fatalf("unequal tick spacing at %d", j)
+		}
+	}
+	// Entire train inside the worst-case window.
+	if ticks[len(ticks)-1]-base > p.WindowRequired() {
+		t.Error("tick train exceeds WindowRequired")
+	}
+}
+
+func TestMeasureSkew(t *testing.T) {
+	a := []sim.Time{10, 20, 30}
+	b := []sim.Time{12, 19, 35}
+	if got := MeasureSkew(a, b); got != 5 {
+		t.Errorf("MeasureSkew = %v", got)
+	}
+	if MeasureSkew(nil, b) != 0 {
+		t.Error("empty train should measure 0")
+	}
+	// Unequal lengths use the common prefix.
+	if got := MeasureSkew(a[:2], b); got != 2 {
+		t.Errorf("prefix skew = %v", got)
+	}
+}
+
+func TestMeasuredSkewWithinBound(t *testing.T) {
+	// Two neighbors whose pulses differ by the HEX skew: the measured fast
+	// skew never exceeds SkewBound.
+	p := Params{NominalPeriod: sim.Nanosecond, Multiplier: 50, Drift: theory.PaperDrift}
+	rng := sim.NewRNG(9)
+	hexSkew := sim.Time(3000)
+	bound := SkewBound(hexSkew, p)
+	for i := 0; i < 200; i++ {
+		a := Ticks(0, p, rng)
+		b := Ticks(hexSkew, p, rng)
+		if got := MeasureSkew(a, b); got > bound {
+			t.Fatalf("measured %v exceeds bound %v", got, bound)
+		}
+	}
+}

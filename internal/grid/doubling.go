@@ -1,0 +1,96 @@
+package grid
+
+import "fmt"
+
+// Doubling is the alternative circular topology sketched in Section 5 of the
+// paper (Fig. 21): layers are arranged in concentric rings around a small
+// layer-0 core, and dedicated "doubling layers" duplicate the nodes of the
+// layer below so the ring circumference can grow without stretching links.
+//
+// The paper gives the idea pictorially only; we formalize it as follows.
+// Layer ℓ has width w(ℓ). A normal layer keeps the width of the layer below
+// and wires exactly like the HEX grid. A doubling layer has width
+// 2·w(ℓ−1); its node (ℓ, j) takes (ℓ−1, ⌊j/2⌋) as lower-left and
+// (ℓ−1, ⌊j/2⌋+1 mod w(ℓ−1)) as lower-right neighbor, so each lower node
+// feeds the two "copies" that replace it plus their right neighbors, and
+// every node keeps the full HEX guard structure (left, lower-left,
+// lower-right, right). Section 3's analysis carries over because every node
+// still has two adjacent lower in-neighbors and two intra-layer neighbors.
+type Doubling struct {
+	*Graph
+	// Widths[l] is the number of columns of layer l.
+	Widths []int
+}
+
+// NewDoubling builds a doubling topology with the given layer-0 width and
+// one entry of doubling[] per forwarding layer: true makes that layer a
+// doubling layer. initialW must be ≥ 3 and len(doubling) ≥ 1.
+func NewDoubling(initialW int, doubling []bool) (*Doubling, error) {
+	if initialW < 3 {
+		return nil, fmt.Errorf("grid: initial width must be at least 3, got %d", initialW)
+	}
+	if len(doubling) < 1 {
+		return nil, fmt.Errorf("grid: need at least one forwarding layer")
+	}
+	widths := make([]int, len(doubling)+1)
+	widths[0] = initialW
+	for l, dbl := range doubling {
+		if dbl {
+			widths[l+1] = 2 * widths[l]
+		} else {
+			widths[l+1] = widths[l]
+		}
+	}
+
+	b := newBuilder()
+	ids := make([][]int, len(widths))
+	for l, w := range widths {
+		ids[l] = make([]int, w)
+		for i := 0; i < w; i++ {
+			ids[l][i] = b.addNode(l)
+		}
+	}
+	for l := 1; l < len(widths); l++ {
+		w := widths[l]
+		wBelow := widths[l-1]
+		for j := 0; j < w; j++ {
+			n := ids[l][j]
+			b.addLink(ids[l][mod(j-1, w)], n, RoleLeft)
+			var ll, lr int
+			if w == wBelow {
+				ll, lr = j, mod(j+1, wBelow)
+			} else { // doubling layer
+				ll = j / 2
+				lr = mod(j/2+1, wBelow)
+			}
+			b.addLink(ids[l-1][ll], n, RoleLowerLeft)
+			b.addLink(ids[l-1][lr], n, RoleLowerRight)
+			b.addLink(ids[l][mod(j+1, w)], n, RoleRight)
+		}
+	}
+	return &Doubling{Graph: b.build(), Widths: widths}, nil
+}
+
+// NodeID returns the id of node (layer, col); the column is taken modulo
+// the layer's width.
+func (d *Doubling) NodeID(layer, col int) int {
+	if layer < 0 || layer >= len(d.Widths) {
+		panic(fmt.Sprintf("grid: layer %d out of range [0,%d]", layer, len(d.Widths)-1))
+	}
+	base := 0
+	for l := 0; l < layer; l++ {
+		base += d.Widths[l]
+	}
+	return base + mod(col, d.Widths[layer])
+}
+
+// GeometricDoubling returns a doubling schedule for n forwarding layers in
+// which doubling layers become less frequent with increasing distance from
+// the center, as in Fig. 21: layers 1, 2, 4, 8, … are doubling layers.
+func GeometricDoubling(layers int) []bool {
+	sched := make([]bool, layers)
+	for p := 1; p <= layers; p *= 2 {
+		sched[p-1] = true
+	}
+	return sched
+}

@@ -1,0 +1,139 @@
+package grid
+
+import "testing"
+
+func TestNewDoublingValidation(t *testing.T) {
+	if _, err := NewDoubling(2, []bool{true}); err == nil {
+		t.Error("initial width 2 accepted")
+	}
+	if _, err := NewDoubling(4, nil); err == nil {
+		t.Error("empty schedule accepted")
+	}
+}
+
+func TestDoublingWidths(t *testing.T) {
+	d, err := NewDoubling(4, []bool{true, false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 8, 8, 16, 16}
+	for l, w := range want {
+		if d.Widths[l] != w {
+			t.Errorf("width[%d] = %d, want %d", l, d.Widths[l], w)
+		}
+		if len(d.Layer(l)) != w {
+			t.Errorf("layer %d has %d nodes, want %d", l, len(d.Layer(l)), w)
+		}
+	}
+	if d.NumNodes() != 4+8+8+16+16 {
+		t.Errorf("NumNodes = %d", d.NumNodes())
+	}
+}
+
+func TestDoublingInDegrees(t *testing.T) {
+	d, err := NewDoubling(4, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < d.NumNodes(); n++ {
+		in := d.In(n)
+		if d.LayerOf(n) == 0 {
+			if len(in) != 0 {
+				t.Fatalf("layer-0 node %d has in-links", n)
+			}
+			continue
+		}
+		if len(in) != 4 {
+			t.Fatalf("node %d has %d in-links, want 4", n, len(in))
+		}
+		roles := map[Role]int{}
+		for _, l := range in {
+			roles[l.Role]++
+		}
+		for _, r := range []Role{RoleLeft, RoleLowerLeft, RoleLowerRight, RoleRight} {
+			if roles[r] != 1 {
+				t.Fatalf("node %d has %d links with role %v", n, roles[r], r)
+			}
+		}
+	}
+}
+
+func TestDoublingLowerNeighborsAdjacent(t *testing.T) {
+	// In a doubling layer the two lower neighbors of every node must be
+	// adjacent in the layer below (the HEX guard's central pair must make
+	// geometric sense).
+	d, err := NewDoubling(6, []bool{true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 1; l < d.NumLayers(); l++ {
+		wBelow := d.Widths[l-1]
+		for _, n := range d.Layer(l) {
+			ll, ok1 := d.LowerLeftNeighbor(n)
+			lr, ok2 := d.LowerRightNeighbor(n)
+			if !ok1 || !ok2 {
+				t.Fatalf("node %d missing lower neighbors", n)
+			}
+			// Positions within the lower layer.
+			var pll, plr int
+			for i, id := range d.Layer(l - 1) {
+				if id == ll {
+					pll = i
+				}
+				if id == lr {
+					plr = i
+				}
+			}
+			if (pll+1)%wBelow != plr {
+				t.Fatalf("lower neighbors of node %d not adjacent: %d, %d (w=%d)", n, pll, plr, wBelow)
+			}
+		}
+	}
+}
+
+func TestDoublingEveryLowerNodeFeedsUpward(t *testing.T) {
+	// No node in a non-top layer may be disconnected from the layer above.
+	d, err := NewDoubling(4, []bool{true, false, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < d.NumLayers()-1; l++ {
+		for _, n := range d.Layer(l) {
+			up := 0
+			for _, out := range d.Out(n) {
+				if d.LayerOf(out.To) == l+1 {
+					up++
+				}
+			}
+			if up == 0 {
+				t.Fatalf("node %d in layer %d feeds no upper node", n, l)
+			}
+		}
+	}
+}
+
+func TestGeometricDoubling(t *testing.T) {
+	sched := GeometricDoubling(12)
+	wantTrue := map[int]bool{0: true, 1: true, 3: true, 7: true}
+	for i, v := range sched {
+		if v != wantTrue[i] {
+			t.Errorf("GeometricDoubling(12)[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestDoublingNodeID(t *testing.T) {
+	d, err := NewDoubling(4, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NodeID(0, 0) != 0 {
+		t.Error("NodeID(0,0) != 0")
+	}
+	if d.NodeID(1, 0) != 4 {
+		t.Errorf("NodeID(1,0) = %d, want 4", d.NodeID(1, 0))
+	}
+	if d.NodeID(1, 8) != d.NodeID(1, 0) {
+		t.Error("NodeID column wrap broken")
+	}
+}

@@ -1,0 +1,28 @@
+package grid
+
+import "testing"
+
+// FuzzCyclicDistance checks the metric invariants of |i−j|_W over
+// arbitrary inputs, including hostile widths.
+func FuzzCyclicDistance(f *testing.F) {
+	f.Add(0, 1, 20)
+	f.Add(19, 0, 20)
+	f.Add(5, 15, 20)
+	f.Add(-3, 100, 7)
+	f.Fuzz(func(t *testing.T, i, j, w int) {
+		if w < 1 || w > 1<<20 {
+			t.Skip()
+		}
+		i, j = mod(i, w), mod(j, w)
+		d := CyclicDistance(i, j, w)
+		if d < 0 || d > w/2 {
+			t.Fatalf("CyclicDistance(%d,%d,%d) = %d out of [0, %d]", i, j, w, d, w/2)
+		}
+		if d != CyclicDistance(j, i, w) {
+			t.Fatal("asymmetric")
+		}
+		if i == j && d != 0 {
+			t.Fatal("nonzero self distance")
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package grid
+
+import "testing"
+
+func TestNewHexPlusValidation(t *testing.T) {
+	if _, err := NewHexPlus(0, 8); err == nil {
+		t.Error("L=0 accepted")
+	}
+	if _, err := NewHexPlus(5, 4); err == nil {
+		t.Error("W=4 accepted (in-neighbors would collide)")
+	}
+	if _, err := NewHexPlus(5, 5); err != nil {
+		t.Errorf("minimal HEX+ rejected: %v", err)
+	}
+}
+
+func TestHexPlusInDegrees(t *testing.T) {
+	h := MustHexPlus(4, 7)
+	want := []Role{RoleLeft, RoleLowerLeftOuter, RoleLowerLeft, RoleLowerRight, RoleLowerRightOuter, RoleRight}
+	for n := 0; n < h.NumNodes(); n++ {
+		in := h.In(n)
+		if h.LayerOf(n) == 0 {
+			if len(in) != 0 {
+				t.Fatalf("layer-0 node %d has in-links", n)
+			}
+			continue
+		}
+		if len(in) != 6 {
+			t.Fatalf("node %d has %d in-links, want 6", n, len(in))
+		}
+		for i, l := range in {
+			if l.Role != want[i] {
+				t.Fatalf("node %d in-link %d role %v, want %v", n, i, l.Role, want[i])
+			}
+		}
+	}
+}
+
+func TestHexPlusWiring(t *testing.T) {
+	h := MustHexPlus(3, 8)
+	n := h.NodeID(2, 3)
+	wantFrom := map[Role]int{
+		RoleLeft:            h.NodeID(2, 2),
+		RoleLowerLeftOuter:  h.NodeID(1, 2),
+		RoleLowerLeft:       h.NodeID(1, 3),
+		RoleLowerRight:      h.NodeID(1, 4),
+		RoleLowerRightOuter: h.NodeID(1, 5),
+		RoleRight:           h.NodeID(2, 4),
+	}
+	for _, l := range h.In(n) {
+		if wantFrom[l.Role] != l.From {
+			t.Errorf("role %v from node %d, want %d", l.Role, l.From, wantFrom[l.Role])
+		}
+	}
+}
+
+func TestHexPlusDistinctInNeighbors(t *testing.T) {
+	h := MustHexPlus(2, 5) // minimal width
+	for n := 0; n < h.NumNodes(); n++ {
+		if h.LayerOf(n) == 0 {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, v := range h.InNeighborsOf(n) {
+			if seen[v] {
+				t.Fatalf("node %d has duplicate in-neighbor %d at W=5", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestHexPlusGuardPairsAssigned(t *testing.T) {
+	h := MustHexPlus(2, 6)
+	if len(h.GuardPairs()) != 5 {
+		t.Fatalf("HEX+ guard has %d pairs, want 5", len(h.GuardPairs()))
+	}
+	plain := MustHex(2, 6)
+	if len(plain.GuardPairs()) != 3 {
+		t.Fatalf("HEX guard has %d pairs, want 3", len(plain.GuardPairs()))
+	}
+	d, err := NewDoubling(4, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.GuardPairs()) != 3 {
+		t.Error("doubling topology should use the plain guard")
+	}
+	// Guard pairs are geometrically adjacent in role order.
+	for _, p := range h.GuardPairs() {
+		if p[1] != p[0]+1 {
+			t.Errorf("guard pair %v not adjacent", p)
+		}
+	}
+}
+
+func TestHexPlusOutDegrees(t *testing.T) {
+	h := MustHexPlus(4, 8)
+	for n := 0; n < h.NumNodes(); n++ {
+		out := h.Out(n)
+		switch h.LayerOf(n) {
+		case 0:
+			if len(out) != 4 { // feeds four layer-1 nodes
+				t.Fatalf("layer-0 node %d out-degree %d, want 4", n, len(out))
+			}
+		case 4:
+			if len(out) != 2 { // intra-layer only
+				t.Fatalf("top node %d out-degree %d, want 2", n, len(out))
+			}
+		default:
+			if len(out) != 6 {
+				t.Fatalf("node %d out-degree %d, want 6", n, len(out))
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package layout quantifies the embedding discussion of Section 5 of the
+// paper. A cylindric HEX grid must be flattened onto a chip's (at most two)
+// interconnect layers; the naive "squeeze flat" embedding makes nodes from
+// opposite sides of the cylinder physically adjacent although they are up
+// to W/2 hops apart in the grid — such neighbors can carry large skew, so
+// "actually half of the nodes cannot be used for clocking". The circular
+// embedding of the doubling-layer topology (Fig. 21) avoids this: physical
+// neighbors are graph neighbors and link lengths stay bounded. This package
+// computes node positions for both embeddings and the metrics behind that
+// argument: link lengths, and the worst grid distance between physically
+// close nodes.
+package layout
+
+import (
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Point is a position in abstract chip coordinates (units of node pitch).
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance to q.
+func (p Point) Distance(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Embedding assigns every node of a graph a physical position.
+type Embedding struct {
+	G   *grid.Graph
+	Pos []Point
+}
+
+// FlattenedCylinder embeds a cylindric HEX grid by squeezing the cylinder
+// flat: columns 0 … W/2−1 run on the front side, columns W/2 … W−1 fold
+// back over them (offset by half a pitch, as on a second interconnect
+// layer). Layers advance along Y.
+func FlattenedCylinder(h *grid.Hex) *Embedding {
+	e := &Embedding{G: h.Graph, Pos: make([]Point, h.NumNodes())}
+	half := h.W / 2
+	for n := 0; n < h.NumNodes(); n++ {
+		l, c := h.Coord(n)
+		var x float64
+		if c < half {
+			x = float64(c)
+		} else {
+			// Folded back: column W−1 lies over column 0.
+			x = float64(h.W-1-c) + 0.5
+		}
+		e.Pos[n] = Point{X: x, Y: float64(l)}
+	}
+	return e
+}
+
+// Circular embeds a doubling topology in concentric rings: layer l sits at
+// radius r0 + l with its nodes spread evenly around the circle, the
+// arrangement sketched in Fig. 21.
+func Circular(d *grid.Doubling) *Embedding {
+	e := &Embedding{G: d.Graph, Pos: make([]Point, d.NumNodes())}
+	const r0 = 2.0
+	for l, w := range d.Widths {
+		radius := r0 + float64(l)
+		for j, n := range d.Layer(l) {
+			angle := 2 * math.Pi * float64(j) / float64(w)
+			e.Pos[n] = Point{X: radius * math.Cos(angle), Y: radius * math.Sin(angle)}
+		}
+	}
+	return e
+}
+
+// LinkLengths returns the physical length of every directed link.
+func (e *Embedding) LinkLengths() []float64 {
+	var out []float64
+	for n := 0; n < e.G.NumNodes(); n++ {
+		for _, l := range e.G.Out(n) {
+			out = append(out, e.Pos[n].Distance(e.Pos[l.To]))
+		}
+	}
+	return out
+}
+
+// MaxLinkLength returns the longest physical link.
+func (e *Embedding) MaxLinkLength() float64 {
+	max := 0.0
+	for _, v := range e.LinkLengths() {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// GraphDistances returns the undirected hop distances from node src to all
+// nodes (BFS over the union of in- and out-links).
+func (e *Embedding) GraphDistances(src int) []int {
+	dist := make([]int, e.G.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range append(e.G.OutNeighborsOf(n), e.G.InNeighborsOf(n)...) {
+			if dist[m] < 0 {
+				dist[m] = dist[n] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	return dist
+}
+
+// PhysicalNeighbors returns, for node n, all other nodes within the given
+// physical radius.
+func (e *Embedding) PhysicalNeighbors(n int, radius float64) []int {
+	var out []int
+	for m := 0; m < e.G.NumNodes(); m++ {
+		if m != n && e.Pos[n].Distance(e.Pos[m]) <= radius {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// WorstProximityGap returns the largest grid-hop distance between any two
+// nodes that are physically within the given radius of each other — the
+// quantity behind Section 5's warning: for the flattened cylinder it is
+// Θ(W), for the circular embedding it stays small. It also reports one
+// witnessing pair.
+func (e *Embedding) WorstProximityGap(radius float64) (gap, a, b int) {
+	gap, a, b = 0, -1, -1
+	for n := 0; n < e.G.NumNodes(); n++ {
+		dist := e.GraphDistances(n)
+		for _, m := range e.PhysicalNeighbors(n, radius) {
+			if dist[m] > gap {
+				gap, a, b = dist[m], n, m
+			}
+		}
+	}
+	return gap, a, b
+}

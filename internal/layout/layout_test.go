@@ -1,0 +1,114 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestFlattenedCylinderPositions(t *testing.T) {
+	h := grid.MustHex(4, 8)
+	e := FlattenedCylinder(h)
+	// Column 0 at x=0, column 7 folded over it at x=0.5.
+	if e.Pos[h.NodeID(2, 0)].X != 0 {
+		t.Error("front column misplaced")
+	}
+	if e.Pos[h.NodeID(2, 7)].X != 0.5 {
+		t.Errorf("folded column at x=%v, want 0.5", e.Pos[h.NodeID(2, 7)].X)
+	}
+	// Layer advances along Y.
+	if e.Pos[h.NodeID(3, 1)].Y != 3 {
+		t.Error("layer coordinate wrong")
+	}
+}
+
+func TestFlattenedCylinderProximityGap(t *testing.T) {
+	h := grid.MustHex(6, 12)
+	e := FlattenedCylinder(h)
+	// Nodes from opposite sides of the cylinder lie within one pitch of
+	// each other but are ~W/2 hops apart.
+	gap, a, b := e.WorstProximityGap(1.0)
+	if gap < h.W/2-1 {
+		t.Errorf("proximity gap %d (pair %d,%d), want ≈W/2 = %d", gap, a, b, h.W/2)
+	}
+	// The witnessing pair really is physically close.
+	if e.Pos[a].Distance(e.Pos[b]) > 1.0 {
+		t.Error("witness pair not physically close")
+	}
+}
+
+func TestCircularEmbeddingBoundedLinks(t *testing.T) {
+	d, err := grid.NewDoubling(6, grid.GeometricDoubling(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Circular(d)
+	// Doubling keeps node spacing within a ring roughly constant, so all
+	// links stay short relative to the outer circumference.
+	maxLink := e.MaxLinkLength()
+	outer := 2 * math.Pi * (2.0 + float64(len(d.Widths)-1))
+	if maxLink > outer/4 {
+		t.Errorf("circular embedding has a link of length %.2f (outer circumference %.2f)", maxLink, outer)
+	}
+	// And physical proximity implies graph proximity: the gap at one pitch
+	// radius stays far below the flattened cylinder's Θ(W).
+	gap, _, _ := e.WorstProximityGap(1.0)
+	if gap > 6 {
+		t.Errorf("circular proximity gap %d, want small", gap)
+	}
+}
+
+func TestGraphDistances(t *testing.T) {
+	h := grid.MustHex(3, 6)
+	e := FlattenedCylinder(h)
+	d := e.GraphDistances(h.NodeID(0, 0))
+	if d[h.NodeID(0, 0)] != 0 {
+		t.Error("self distance not 0")
+	}
+	// (1,0) is an out-neighbor (upper-right) of (0,0).
+	if d[h.NodeID(1, 0)] != 1 {
+		t.Errorf("distance to upper-right = %d", d[h.NodeID(1, 0)])
+	}
+	// Everything is reachable in the undirected sense.
+	for n, v := range d {
+		if v < 0 {
+			t.Fatalf("node %d unreachable", n)
+		}
+	}
+}
+
+func TestLinkLengthsCount(t *testing.T) {
+	h := grid.MustHex(3, 6)
+	e := FlattenedCylinder(h)
+	total := 0
+	for n := 0; n < h.NumNodes(); n++ {
+		total += len(h.Out(n))
+	}
+	if got := len(e.LinkLengths()); got != total {
+		t.Errorf("link length count %d, want %d", got, total)
+	}
+	if e.MaxLinkLength() <= 0 {
+		t.Error("no positive link length")
+	}
+}
+
+func TestPhysicalNeighborsRadius(t *testing.T) {
+	h := grid.MustHex(3, 8)
+	e := FlattenedCylinder(h)
+	n := h.NodeID(1, 1)
+	close := e.PhysicalNeighbors(n, 1.0)
+	if len(close) == 0 {
+		t.Fatal("no physical neighbors at radius 1")
+	}
+	for _, m := range close {
+		if e.Pos[n].Distance(e.Pos[m]) > 1.0 {
+			t.Errorf("node %d beyond radius", m)
+		}
+	}
+	// Larger radius ⊇ smaller radius.
+	wider := e.PhysicalNeighbors(n, 2.0)
+	if len(wider) < len(close) {
+		t.Error("radius monotonicity violated")
+	}
+}

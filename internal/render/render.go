@@ -1,0 +1,333 @@
+// Package render formats experiment outputs as text: aligned tables (the
+// paper's Tables 1–3), ASCII histograms (Figs. 10–11), per-layer series
+// (Fig. 12), and heat-map style wave plots standing in for the paper's 3-D
+// wave figures (Figs. 8, 9, 13, 14).
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Table is a titled table with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Note is printed under the table (provenance, paper reference).
+	Note string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Ns formats a nanosecond value with three decimals, as in the paper's
+// tables.
+func Ns(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// NsTime formats a sim.Time in nanoseconds with two decimals, the
+// resolution of Table 3.
+func NsTime(t sim.Time) string { return fmt.Sprintf("%.2f", t.Nanoseconds()) }
+
+// Histogram renders an ASCII bar histogram, one bin per line, bars scaled
+// to width characters.
+func Histogram(h *stats.Histogram, width int, label string) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := h.MaxCount()
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d, under=%d, over=%d)\n", label, h.Total, h.Under, h.Over)
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*width/max)
+		fmt.Fprintf(&b, "%8.2f |%-*s| %d\n", h.BinCenter(i), width, bar, c)
+	}
+	return b.String()
+}
+
+// WaveHeat renders a pulse wave as a heat map: one row per layer (bottom
+// layer first), one character per column. Characters 0-9/a-z encode the
+// node's triggering time normalized over the whole wave; 'X' marks faulty
+// or excluded nodes and '.' untriggered ones.
+func WaveHeat(w *analysis.Wave, maxLayers int) string {
+	g := w.G
+	lo, hi := sim.MaxTime, sim.Time(-1<<62)
+	for n := range w.T {
+		if w.Valid(n) {
+			lo, hi = sim.MinTime(lo, w.T[n]), sim.MaxOf(hi, w.T[n])
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	const ramp = "0123456789abcdefghijklmnopqrstuvwxyz"
+	layers := g.NumLayers()
+	if maxLayers > 0 && maxLayers < layers {
+		layers = maxLayers
+	}
+	var b strings.Builder
+	for l := layers - 1; l >= 0; l-- {
+		fmt.Fprintf(&b, "layer %3d  ", l)
+		for _, n := range g.Layer(l) {
+			switch {
+			case w.Excluded[n]:
+				b.WriteByte('X')
+			case w.T[n] == analysis.Missing:
+				b.WriteByte('.')
+			default:
+				idx := int(int64(w.T[n]-lo) * int64(len(ramp)-1) / int64(span))
+				b.WriteByte(ramp[idx])
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "time scale: 0=%v … z=%v\n", lo, hi)
+	return b.String()
+}
+
+// WaveLayerSeries renders per-layer triggering-time statistics of a wave:
+// layer, min, avg, max trigger time (ns) — the numeric counterpart of the
+// paper's 3-D wave plots.
+func WaveLayerSeries(w *analysis.Wave, title string) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"layer", "t_min[ns]", "t_avg[ns]", "t_max[ns]", "intra_max[ns]"},
+	}
+	g := w.G
+	for l := 0; l < g.NumLayers(); l++ {
+		var vals []float64
+		for _, n := range g.Layer(l) {
+			if w.Valid(n) {
+				vals = append(vals, w.T[n].Nanoseconds())
+			}
+		}
+		if len(vals) == 0 {
+			t.AddRow(fmt.Sprintf("%d", l), "-", "-", "-", "-")
+			continue
+		}
+		intra := "-"
+		if m := w.MaxIntraSkewLayer(l); m >= 0 {
+			intra = Ns(m.Nanoseconds())
+		}
+		t.AddRow(fmt.Sprintf("%d", l),
+			Ns(stats.Min(vals)), Ns(stats.Mean(vals)), Ns(stats.Max(vals)), intra)
+	}
+	return t
+}
+
+// Hist builds a histogram over xs spanning its own range with the given
+// number of bins; empty input yields a single empty bin.
+func Hist(xs []float64, bins int) *stats.Histogram {
+	if len(xs) == 0 {
+		return stats.NewHistogram(nil, 0, 1, 1)
+	}
+	lo, hi := stats.Min(xs), stats.Max(xs)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	// Stretch slightly so the maximum lands inside the last bin.
+	hi += (hi - lo) * 1e-9
+	return stats.NewHistogram(xs, lo, hi, bins)
+}
+
+// Mark renders a coordinate list, used to report fault placements.
+func Mark(h *grid.Hex, nodes []int) string {
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		l, c := h.Coord(n)
+		parts[i] = fmt.Sprintf("(%d,%d)", l, c)
+	}
+	return strings.Join(parts, " ")
+}
+
+// BoxPlot renders five-number summaries as ASCII box plots on a shared
+// scale, one row per labeled summary:
+//
+//	f=0  |----[=#==]------|        min/q5/avg/q95/max
+func BoxPlot(labels []string, summaries []stats.Summary, width int) string {
+	if len(labels) != len(summaries) || len(labels) == 0 {
+		return ""
+	}
+	if width <= 10 {
+		width = 50
+	}
+	lo, hi := summaries[0].Min, summaries[0].Max
+	for _, s := range summaries[1:] {
+		if s.Min < lo {
+			lo = s.Min
+		}
+		if s.Max > hi {
+			hi = s.Max
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	pos := func(v float64) int {
+		p := int(float64(width-1) * (v - lo) / (hi - lo))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, s := range summaries {
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		for j := pos(s.Min); j <= pos(s.Max); j++ {
+			row[j] = '-'
+		}
+		for j := pos(s.Q5); j <= pos(s.Q95); j++ {
+			row[j] = '='
+		}
+		row[pos(s.Min)] = '|'
+		row[pos(s.Max)] = '|'
+		row[pos(s.Q5)] = '['
+		row[pos(s.Q95)] = ']'
+		row[pos(s.Avg)] = '#'
+		fmt.Fprintf(&b, "%-*s %s\n", labelW, labels[i], string(row))
+	}
+	fmt.Fprintf(&b, "%-*s %.3f .. %.3f\n", labelW, "scale", lo, hi)
+	return b.String()
+}
+
+// WaveCSV exports a wave's triggering times as CSV (layer, column, time_ns,
+// status) for downstream plotting tools. Status is "ok", "excluded" or
+// "missing".
+func WaveCSV(w *analysis.Wave, h *grid.Hex) string {
+	var b strings.Builder
+	b.WriteString("layer,column,time_ns,status\n")
+	for n := 0; n < h.NumNodes(); n++ {
+		l, c := h.Coord(n)
+		switch {
+		case w.Excluded[n]:
+			fmt.Fprintf(&b, "%d,%d,,excluded\n", l, c)
+		case w.T[n] == analysis.Missing:
+			fmt.Fprintf(&b, "%d,%d,,missing\n", l, c)
+		default:
+			fmt.Fprintf(&b, "%d,%d,%.3f,ok\n", l, c, w.T[n].Nanoseconds())
+		}
+	}
+	return b.String()
+}
+
+// WaveSVG renders a pulse wave as a standalone SVG heat map (one rectangle
+// per node, colored by normalized triggering time; red = faulty/excluded,
+// gray = missing) for inclusion in reports.
+func WaveSVG(w *analysis.Wave, h *grid.Hex, cell int) string {
+	if cell <= 0 {
+		cell = 10
+	}
+	lo, hi := sim.MaxTime, sim.Time(-1<<62)
+	for n := range w.T {
+		if w.Valid(n) {
+			lo, hi = sim.MinTime(lo, w.T[n]), sim.MaxOf(hi, w.T[n])
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	width := h.W * cell
+	height := (h.L + 1) * cell
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, width, height)
+	b.WriteString("\n")
+	for n := 0; n < h.NumNodes(); n++ {
+		l, c := h.Coord(n)
+		x := c * cell
+		y := (h.L - l) * cell // layer 0 at the bottom
+		var fill string
+		switch {
+		case w.Excluded[n]:
+			fill = "#d62728"
+		case w.T[n] == analysis.Missing:
+			fill = "#999999"
+		default:
+			// Blue (early) to yellow (late).
+			frac := float64(w.T[n]-lo) / float64(span)
+			r := int(40 + 215*frac)
+			g := int(80 + 150*frac)
+			bl := int(200 - 160*frac)
+			fill = fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>(%d,%d)</title></rect>`,
+			x, y, cell, cell, fill, l, c)
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bee", "c"},
+		Note:   "a note",
+	}
+	tb.AddRow("1", "2", "3")
+	tb.AddRow("longer", "x", "y")
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "a note") {
+		t.Error("title or note missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, rule, 2 rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Column starts align: "bee" and "2" and "x" share a column offset.
+	hdr, row1, row2 := lines[1], lines[3], lines[4]
+	if strings.Index(hdr, "bee") != strings.Index(row1, "2") ||
+		strings.Index(hdr, "bee") != strings.Index(row2, "x") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("only")
+	if !strings.Contains(tb.String(), "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestNsFormats(t *testing.T) {
+	if Ns(1.23456) != "1.235" {
+		t.Errorf("Ns = %q", Ns(1.23456))
+	}
+	if NsTime(31980) != "31.98" {
+		t.Errorf("NsTime = %q", NsTime(31980))
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := stats.NewHistogram([]float64{1, 1, 2, 3}, 0, 4, 4)
+	out := Histogram(h, 20, "skews")
+	if !strings.Contains(out, "skews (n=4") {
+		t.Error("label missing")
+	}
+	if strings.Count(out, "\n") != 5 {
+		t.Errorf("unexpected line count:\n%s", out)
+	}
+	// The fullest bin gets the longest bar.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[2], "####################") {
+		t.Errorf("max bin bar not full width:\n%s", out)
+	}
+}
+
+func TestHistogramZeroWidthDefaults(t *testing.T) {
+	h := stats.NewHistogram([]float64{1}, 0, 2, 2)
+	if out := Histogram(h, 0, "x"); !strings.Contains(out, "#") {
+		t.Error("default width produced no bars")
+	}
+}
+
+func TestWaveHeat(t *testing.T) {
+	h := grid.MustHex(3, 5)
+	w := analysis.NewWave(h.Graph)
+	for n := 0; n < h.NumNodes(); n++ {
+		l, _ := h.Coord(n)
+		w.T[n] = sim.Time(l * 1000)
+	}
+	w.Excluded[h.NodeID(1, 2)] = true
+	w.T[h.NodeID(2, 2)] = analysis.Missing
+	out := WaveHeat(w, 0)
+	if !strings.Contains(out, "X") {
+		t.Error("excluded node marker missing")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("missing-node marker absent")
+	}
+	if !strings.Contains(out, "layer   0") || !strings.Contains(out, "layer   3") {
+		t.Errorf("layer labels missing:\n%s", out)
+	}
+	// maxLayers truncation.
+	out = WaveHeat(w, 2)
+	if strings.Contains(out, "layer   2") {
+		t.Error("truncation ignored")
+	}
+}
+
+func TestWaveLayerSeries(t *testing.T) {
+	h := grid.MustHex(2, 4)
+	w := analysis.NewWave(h.Graph)
+	for n := 0; n < h.NumNodes(); n++ {
+		l, c := h.Coord(n)
+		w.T[n] = sim.Time(l*8000 + c*10)
+	}
+	tb := WaveLayerSeries(w, "series")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "0" || tb.Rows[2][0] != "2" {
+		t.Error("layer indices wrong")
+	}
+}
+
+func TestHistHelper(t *testing.T) {
+	h := Hist(nil, 5)
+	if h.Total != 0 {
+		t.Error("empty Hist not empty")
+	}
+	h = Hist([]float64{1, 2, 3}, 3)
+	if h.Total != 3 || h.Over != 0 || h.Under != 0 {
+		t.Errorf("Hist lost values: %+v", h)
+	}
+	// Constant data must not panic.
+	h = Hist([]float64{5, 5, 5}, 3)
+	if h.Total != 3 {
+		t.Error("constant Hist broken")
+	}
+}
+
+func TestMark(t *testing.T) {
+	h := grid.MustHex(3, 5)
+	s := Mark(h, []int{h.NodeID(1, 2), h.NodeID(3, 0)})
+	if s != "(1,2) (3,0)" {
+		t.Errorf("Mark = %q", s)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	sums := []stats.Summary{
+		{Min: 0, Q5: 1, Avg: 2, Q95: 3, Max: 4},
+		{Min: 2, Q5: 3, Avg: 5, Q95: 8, Max: 10},
+	}
+	out := BoxPlot([]string{"f=0", "f=5"}, sums, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("box plot lines = %d:\n%s", len(lines), out)
+	}
+	for _, ch := range []string{"|", "[", "]", "#"} {
+		if !strings.Contains(lines[0], ch) {
+			t.Errorf("marker %q missing:\n%s", ch, out)
+		}
+	}
+	if !strings.Contains(lines[2], "0.000 .. 10.000") {
+		t.Errorf("scale line wrong: %q", lines[2])
+	}
+	// Degenerate inputs do not panic.
+	if BoxPlot(nil, nil, 40) != "" {
+		t.Error("empty box plot not empty")
+	}
+	one := BoxPlot([]string{"x"}, []stats.Summary{{Min: 5, Q5: 5, Avg: 5, Q95: 5, Max: 5}}, 40)
+	if one == "" {
+		t.Error("constant summary rendered empty")
+	}
+}
+
+func TestWaveCSV(t *testing.T) {
+	h := grid.MustHex(2, 3)
+	w := analysis.NewWave(h.Graph)
+	for n := 0; n < h.NumNodes(); n++ {
+		w.T[n] = sim.Time(n * 1000)
+	}
+	w.Excluded[h.NodeID(1, 1)] = true
+	w.T[h.NodeID(2, 2)] = analysis.Missing
+	out := WaveCSV(w, h)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+h.NumNodes() {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if lines[0] != "layer,column,time_ns,status" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, ",excluded") || !strings.Contains(out, ",missing") {
+		t.Error("status markers missing")
+	}
+	if !strings.Contains(out, "0,1,1.000,ok") {
+		t.Errorf("data row missing:\n%s", out)
+	}
+}
+
+func TestWaveSVG(t *testing.T) {
+	h := grid.MustHex(3, 4)
+	w := analysis.NewWave(h.Graph)
+	for n := 0; n < h.NumNodes(); n++ {
+		w.T[n] = sim.Time(n * 500)
+	}
+	w.Excluded[h.NodeID(1, 1)] = true
+	w.T[h.NodeID(2, 2)] = analysis.Missing
+	out := WaveSVG(w, h, 8)
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(out, "<rect") != h.NumNodes() {
+		t.Errorf("rect count = %d, want %d", strings.Count(out, "<rect"), h.NumNodes())
+	}
+	if !strings.Contains(out, "#d62728") {
+		t.Error("excluded color missing")
+	}
+	if !strings.Contains(out, "#999999") {
+		t.Error("missing-node color absent")
+	}
+	// Default cell size path.
+	if WaveSVG(w, h, 0) == "" {
+		t.Error("default cell size broke rendering")
+	}
+}

@@ -1,0 +1,169 @@
+// Package ringosc models the related-work alternative the paper contrasts
+// HEX with (Section 1, [24, 25]): distributed clock *generation* by a
+// two-dimensional grid of pulse cells, "each cell inverting its output
+// signal when its four inputs (from the up, down, left, and right neighbor)
+// match the current clock output value". The construction oscillates
+// without any clock source — but, as the paper points out, "none of these
+// approaches has been analyzed for its fault-tolerance properties". This
+// package makes the contrast measurable: a single stuck-at cell freezes its
+// neighbors, and the freeze spreads until the entire oscillator halts,
+// whereas a faulty HEX node costs its neighborhood a few nanoseconds of
+// skew.
+package ringosc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config parameterizes a cell-grid oscillator.
+type Config struct {
+	// Rows, Cols give the torus dimensions (≥ 2 each).
+	Rows, Cols int
+	// GateMin/GateMax bound a cell's inversion delay once its inputs match.
+	GateMin, GateMax sim.Time
+	// StuckCells lists cells whose output is frozen at its initial value.
+	StuckCells []int
+	// Horizon is the simulated duration.
+	Horizon sim.Time
+	// Seed drives the per-inversion gate delays.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Rows < 2 || c.Cols < 2 {
+		return fmt.Errorf("ringosc: grid must be at least 2x2, got %dx%d", c.Rows, c.Cols)
+	}
+	if c.GateMin <= 0 || c.GateMax < c.GateMin {
+		return fmt.Errorf("ringosc: need 0 < GateMin ≤ GateMax")
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("ringosc: need a positive horizon")
+	}
+	return nil
+}
+
+// Result reports per-cell activity.
+type Result struct {
+	Rows, Cols int
+	// Toggles[c] counts cell c's output transitions within the horizon.
+	Toggles []int
+	// LastToggle[c] is the time of the last transition (-1 if none).
+	LastToggle []sim.Time
+	Horizon    sim.Time
+}
+
+// CellID maps (row, col) to a cell index (coordinates wrap).
+func (c Config) CellID(row, col int) int {
+	r := ((row % c.Rows) + c.Rows) % c.Rows
+	cc := ((col % c.Cols) + c.Cols) % c.Cols
+	return r*c.Cols + cc
+}
+
+// Run simulates the oscillator from the all-zero state (every cell's inputs
+// match, so the grid starts inverting immediately).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Rows * cfg.Cols
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(sim.DeriveSeed(cfg.Seed, "ringosc"))
+
+	out := make([]bool, n)
+	stuck := make([]bool, n)
+	for _, c := range cfg.StuckCells {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("ringosc: stuck cell %d out of range", c)
+		}
+		stuck[c] = true
+	}
+	pending := make([]bool, n) // an inversion is scheduled
+	res := &Result{
+		Rows: cfg.Rows, Cols: cfg.Cols,
+		Toggles:    make([]int, n),
+		LastToggle: make([]sim.Time, n),
+		Horizon:    cfg.Horizon,
+	}
+	for i := range res.LastToggle {
+		res.LastToggle[i] = -1
+	}
+
+	neighbors := make([][4]int, n)
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			neighbors[cfg.CellID(r, c)] = [4]int{
+				cfg.CellID(r-1, c), cfg.CellID(r+1, c),
+				cfg.CellID(r, c-1), cfg.CellID(r, c+1),
+			}
+		}
+	}
+	matches := func(c int) bool {
+		for _, nb := range neighbors[c] {
+			if out[nb] != out[c] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Once a cell's inputs match, the inversion is latched: it fires after
+	// the gate delay even if inputs glitch meanwhile (a delay-insensitive
+	// Muller-C style implementation; a cancellable rule would deadlock the
+	// very first asymmetric transition).
+	var check func(c int)
+	invert := func(c int) {
+		pending[c] = false
+		out[c] = !out[c]
+		res.Toggles[c]++
+		res.LastToggle[c] = eng.Now()
+		check(c)
+		for _, nb := range neighbors[c] {
+			check(nb)
+		}
+	}
+	check = func(c int) {
+		if stuck[c] || pending[c] || !matches(c) {
+			return
+		}
+		pending[c] = true
+		d := rng.TimeIn(cfg.GateMin, cfg.GateMax)
+		cell := c
+		eng.ScheduleAfter(d, func() { invert(cell) })
+	}
+
+	for c := 0; c < n; c++ {
+		check(c)
+	}
+	eng.Run(cfg.Horizon)
+	return res, nil
+}
+
+// AliveCells counts cells that toggled within the final `window` of the
+// horizon — the cells still participating in the oscillation.
+func (r *Result) AliveCells(window sim.Time) int {
+	cut := r.Horizon - window
+	alive := 0
+	for c := range r.Toggles {
+		if r.LastToggle[c] >= cut {
+			alive++
+		}
+	}
+	return alive
+}
+
+// MinMaxToggles returns the smallest and largest per-cell toggle counts.
+func (r *Result) MinMaxToggles() (min, max int) {
+	min, max = int(^uint(0)>>1), 0
+	for _, t := range r.Toggles {
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	return min, max
+}

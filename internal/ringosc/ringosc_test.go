@@ -1,0 +1,120 @@
+package ringosc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func baseCfg() Config {
+	return Config{
+		Rows: 8, Cols: 8,
+		GateMin: 450 * sim.Picosecond,
+		GateMax: 550 * sim.Picosecond,
+		Horizon: 200 * sim.Nanosecond,
+		Seed:    1,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := baseCfg()
+	bad.Rows = 1
+	if _, err := Run(bad); err == nil {
+		t.Error("1-row grid accepted")
+	}
+	bad = baseCfg()
+	bad.GateMin = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero gate delay accepted")
+	}
+	bad = baseCfg()
+	bad.StuckCells = []int{1000}
+	if _, err := Run(bad); err == nil {
+		t.Error("out-of-range stuck cell accepted")
+	}
+}
+
+func TestFaultFreeOscillates(t *testing.T) {
+	res, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AliveCells(5*sim.Nanosecond) != 64 {
+		t.Errorf("only %d/64 cells alive at the horizon", res.AliveCells(5*sim.Nanosecond))
+	}
+	min, max := res.MinMaxToggles()
+	// Period ≈ a gate delay per half-cycle plus coupling wait: within
+	// 200 ns and ~0.5 ns gates expect on the order of 10²+ toggles.
+	if min < 50 {
+		t.Errorf("min toggles %d: oscillation too slow or stalled", min)
+	}
+	// The grid stays coupled: cells cannot run away from each other.
+	if max > min+2 {
+		t.Errorf("toggle counts diverged: min %d, max %d", min, max)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Toggles {
+		if a.Toggles[c] != b.Toggles[c] || a.LastToggle[c] != b.LastToggle[c] {
+			t.Fatalf("nondeterministic at cell %d", c)
+		}
+	}
+}
+
+func TestSingleStuckCellHaltsEverything(t *testing.T) {
+	// The paper's point about [24, 25]: no fault-tolerance analysis — and
+	// indeed one stuck cell freezes its neighbors, and the freeze spreads
+	// until the entire oscillator halts.
+	cfg := baseCfg()
+	cfg.StuckCells = []int{cfg.CellID(3, 4)}
+	cfg.Horizon = 400 * sim.Nanosecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alive := res.AliveCells(20 * sim.Nanosecond); alive != 0 {
+		t.Errorf("%d cells still alive despite a stuck cell", alive)
+	}
+	// The halt is not instant: cells did toggle before the freeze spread.
+	_, max := res.MinMaxToggles()
+	if max == 0 {
+		t.Error("grid never oscillated at all")
+	}
+}
+
+func TestStuckCellFreezeSpreadsWithDistance(t *testing.T) {
+	// Cells farther from the stuck cell keep toggling longer.
+	cfg := baseCfg()
+	cfg.Rows, cfg.Cols = 12, 12
+	stuck := cfg.CellID(0, 0)
+	cfg.StuckCells = []int{stuck}
+	cfg.Horizon = 500 * sim.Nanosecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := res.Toggles[cfg.CellID(0, 1)]
+	far := res.Toggles[cfg.CellID(6, 6)]
+	if far <= near {
+		t.Errorf("far cell toggled %d times, near cell %d — freeze did not spread gradually", far, near)
+	}
+}
+
+func TestCellIDWraps(t *testing.T) {
+	cfg := baseCfg()
+	if cfg.CellID(-1, 0) != cfg.CellID(7, 0) {
+		t.Error("row wrap broken")
+	}
+	if cfg.CellID(0, 8) != cfg.CellID(0, 0) {
+		t.Error("col wrap broken")
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+// event is a scheduled callback or typed event. seq provides stable FIFO
+// ordering among events at the same instant, making execution order (and
+// therefore every simulation) fully deterministic. Typed events (fn == nil)
+// carry their payload inline and are handed to the engine's Dispatcher,
+// avoiding a heap-allocated closure per event on the simulator's hot path.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	kind uint8
+	a, b int64
+}
+
+// eventQueue is a binary min-heap of events ordered by (at, seq).
+// It is implemented directly (rather than via container/heap) to avoid
+// interface boxing on the simulator's hottest path.
+type eventQueue struct {
+	items []event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts e and restores the heap invariant (sift-up).
+func (q *eventQueue) push(e event) {
+	q.items = append(q.items, e)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. It panics on an empty queue;
+// callers must check Len first.
+func (q *eventQueue) pop() event {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	// Sift-down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// peekTime returns the time of the earliest event without removing it.
+func (q *eventQueue) peekTime() Time { return q.items[0].at }

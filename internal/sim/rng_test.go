@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds matched on %d of 100 outputs", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("zero-seeded RNG produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn(10): value %d occurred %d/10000 times (expect ~1000)", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestTimeInInclusiveBounds(t *testing.T) {
+	r := NewRNG(3)
+	lo, hi := Time(7161), Time(8197)
+	sawLo, sawHi := false, false
+	for i := 0; i < 200000; i++ {
+		v := r.TimeIn(lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("TimeIn out of bounds: %d", v)
+		}
+		sawLo = sawLo || v == lo
+		sawHi = sawHi || v == hi
+	}
+	if !sawLo || !sawHi {
+		t.Errorf("TimeIn never hit an endpoint (lo=%v hi=%v)", sawLo, sawHi)
+	}
+}
+
+func TestTimeInDegenerate(t *testing.T) {
+	r := NewRNG(5)
+	if v := r.TimeIn(42, 42); v != 42 {
+		t.Errorf("TimeIn(42,42) = %d", v)
+	}
+}
+
+func TestTimeInPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TimeIn(hi, lo) did not panic")
+		}
+	}()
+	NewRNG(1).TimeIn(10, 5)
+}
+
+func TestTimeInProperty(t *testing.T) {
+	r := NewRNG(99)
+	f := func(a, b uint16, off int32) bool {
+		lo := Time(off)
+		hi := lo + Time(a)%1000 + Time(b)%1000
+		v := r.TimeIn(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := NewRNG(17)
+	counts := make([]int, 5)
+	for i := 0; i < 10000; i++ {
+		counts[r.Perm(5)[0]]++
+	}
+	for v, c := range counts {
+		if c < 1600 || c > 2400 {
+			t.Errorf("Perm(5)[0] = %d occurred %d/10000 times (expect ~2000)", v, c)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(23)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split children matched on %d outputs", same)
+	}
+}
+
+func TestDeriveSeedStability(t *testing.T) {
+	a := DeriveSeed(1, "delay")
+	b := DeriveSeed(1, "delay")
+	if a != b {
+		t.Error("DeriveSeed is not deterministic")
+	}
+	if DeriveSeed(1, "delay") == DeriveSeed(1, "timer") {
+		t.Error("different labels produced the same seed")
+	}
+	if DeriveSeed(1, "delay") == DeriveSeed(2, "delay") {
+		t.Error("different bases produced the same seed")
+	}
+	// Label concatenation must not be ambiguous.
+	if DeriveSeed(1, "ab", "c") == DeriveSeed(1, "a", "bc") {
+		t.Error("label boundaries are ambiguous")
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := NewRNG(29)
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < 4700 || trues > 5300 {
+		t.Errorf("Bool() true %d/10000 times", trues)
+	}
+}
+
+func TestUint64nSmallBias(t *testing.T) {
+	r := NewRNG(31)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[r.Uint64n(3)]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Uint64n(3): value %d occurred %d/30000", v, c)
+		}
+	}
+}

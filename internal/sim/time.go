@@ -1,0 +1,104 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated time is integer picoseconds (Time). Events are executed in
+// nondecreasing time order; events scheduled for the same instant execute in
+// the order they were scheduled (stable FIFO tie-breaking), which makes every
+// simulation a pure function of its inputs and seed.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a simulated time instant or duration in picoseconds.
+//
+// Integer picoseconds represent every delay value used in the paper exactly
+// (e.g. d− = 7.161 ns = 7161 ps) and keep event ordering free of
+// floating-point round-off.
+type Time int64
+
+// Convenient duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+)
+
+// MaxTime is the largest representable instant. It is used as an "infinitely
+// far in the future" sentinel, e.g. for timers that never expire.
+const MaxTime Time = math.MaxInt64
+
+// Nanoseconds reports t as a floating-point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Picoseconds reports t as an integer number of picoseconds.
+func (t Time) Picoseconds() int64 { return int64(t) }
+
+// FromNanoseconds converts a floating-point nanosecond value to a Time,
+// rounding to the nearest picosecond.
+func FromNanoseconds(ns float64) Time {
+	return Time(math.Round(ns * float64(Nanosecond)))
+}
+
+// String formats t as a nanosecond value with picosecond resolution,
+// e.g. "7.161ns".
+func (t Time) String() string {
+	neg := ""
+	v := int64(t)
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	whole := v / int64(Nanosecond)
+	frac := v % int64(Nanosecond)
+	if frac == 0 {
+		return fmt.Sprintf("%s%dns", neg, whole)
+	}
+	s := fmt.Sprintf("%s%d.%03d", neg, whole, frac)
+	// Trim trailing zeros of the fractional part for readability.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	return s + "ns"
+}
+
+// MinTime returns the smaller of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxOf returns the larger of a and b.
+func MaxOf(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AbsTime returns the absolute value of t.
+func AbsTime(t Time) Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}
+
+// Scale returns t scaled by the rational factor num/den, rounding to the
+// nearest picosecond. It is used for drift factors such as ϑ = 1.05
+// (num=105, den=100) without introducing floating point into timing.
+func Scale(t Time, num, den int64) Time {
+	if den == 0 {
+		panic("sim: Scale with zero denominator")
+	}
+	v := int64(t) * num
+	// Round half away from zero so Scale(-t) == -Scale(t).
+	if v >= 0 {
+		return Time((v + den/2) / den)
+	}
+	return Time(-((-v + den/2) / den))
+}

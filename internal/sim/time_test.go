@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Nanosecond != 1000*Picosecond {
+		t.Errorf("Nanosecond = %d ps", Nanosecond)
+	}
+	if Microsecond != 1000*Nanosecond || Millisecond != 1000*Microsecond {
+		t.Error("unit ladder broken")
+	}
+}
+
+func TestNanosecondsRoundTrip(t *testing.T) {
+	cases := []Time{0, 1, 999, 1000, 7161, 8197, -42, 123456789}
+	for _, c := range cases {
+		if got := FromNanoseconds(c.Nanoseconds()); got != c {
+			t.Errorf("round trip %d → %v → %d", c, c.Nanoseconds(), got)
+		}
+	}
+}
+
+func TestFromNanosecondsRounds(t *testing.T) {
+	if got := FromNanoseconds(7.1614); got != 7161 {
+		t.Errorf("FromNanoseconds(7.1614) = %d, want 7161", got)
+	}
+	if got := FromNanoseconds(7.1616); got != 7162 {
+		t.Errorf("FromNanoseconds(7.1616) = %d, want 7162", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		0:             "0ns",
+		7161:          "7.161ns",
+		8000:          "8ns",
+		-1500:         "-1.5ns",
+		1000000:       "1000ns",
+		1:             "0.001ns",
+		1030:          "1.03ns",
+		-1 * 1000:     "-1ns",
+		1234567:       "1234.567ns",
+		1000000000000: "1000000000ns",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("(%d).String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	if MinTime(3, 5) != 3 || MinTime(5, 3) != 3 {
+		t.Error("MinTime broken")
+	}
+	if MaxOf(3, 5) != 5 || MaxOf(5, 3) != 5 {
+		t.Error("MaxOf broken")
+	}
+	if AbsTime(-7) != 7 || AbsTime(7) != 7 || AbsTime(0) != 0 {
+		t.Error("AbsTime broken")
+	}
+}
+
+func TestScale(t *testing.T) {
+	// ϑ = 1.05 stretching, as used by Condition 2.
+	if got := Scale(100, 105, 100); got != 105 {
+		t.Errorf("Scale(100, 1.05) = %d", got)
+	}
+	// Rounding to nearest.
+	if got := Scale(10, 105, 100); got != 11 { // 10.5 rounds up
+		t.Errorf("Scale(10, 1.05) = %d, want 11", got)
+	}
+	if got := Scale(9, 105, 100); got != 9 { // 9.45 rounds down
+		t.Errorf("Scale(9, 1.05) = %d, want 9", got)
+	}
+	if got := Scale(31980, 105, 100); got != 33579 {
+		t.Errorf("Scale(31980, 1.05) = %d, want 33579", got)
+	}
+}
+
+func TestScalePanicsOnZeroDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Scale with zero denominator did not panic")
+		}
+	}()
+	Scale(1, 1, 0)
+}
+
+func TestScaleIdentityProperty(t *testing.T) {
+	f := func(v int32) bool {
+		tm := Time(v)
+		return Scale(tm, 7, 7) == tm && Scale(tm, 1, 1) == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleMonotoneProperty(t *testing.T) {
+	// Scaling by ϑ ≥ 1 never shrinks a nonnegative duration.
+	f := func(v uint32) bool {
+		tm := Time(v)
+		return Scale(tm, 105, 100) >= tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxTimeSentinel(t *testing.T) {
+	if MaxTime != Time(math.MaxInt64) {
+		t.Error("MaxTime is not the largest Time")
+	}
+}

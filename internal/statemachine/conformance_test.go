@@ -1,0 +1,154 @@
+package statemachine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/trace"
+)
+
+// TestConformanceAgainstNetwork replays every forwarding node of a traced
+// network simulation through the independent single-node state machine and
+// requires identical fire times — a cross-implementation check of the
+// Fig. 7 semantics. Timers are fixed (T− = T+) so both implementations are
+// deterministic; delays are drawn randomly per message by the network.
+func TestConformanceAgainstNetwork(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		h := grid.MustHex(10, 8)
+		params := core.Params{
+			Bounds:    delay.Paper,
+			TLinkMin:  33333 * sim.Picosecond,
+			TLinkMax:  33333 * sim.Picosecond,
+			TSleepMin: 86419 * sim.Picosecond,
+			TSleepMax: 86419 * sim.Picosecond,
+		}
+		plan := fault.NewPlan(h.NumNodes())
+		if seed%2 == 1 {
+			rng := sim.NewRNG(seed)
+			placed, err := fault.PlaceRandom(h.Graph, 2, nil, rng, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range placed {
+				plan.SetBehavior(n, fault.Byzantine)
+			}
+			plan.RandomizeByzantine(h.Graph, rng)
+		}
+		sched := source.NewSchedule(source.UniformDPlus, h.W, 3, delay.Paper,
+			300*sim.Nanosecond, sim.NewRNG(seed+100))
+		rec := &trace.Recorder{}
+		res, err := core.Run(core.Config{
+			Graph:    h.Graph,
+			Params:   params,
+			Delay:    delay.Uniform{Bounds: delay.Paper},
+			Faults:   plan,
+			Schedule: sched,
+			Seed:     seed,
+			Trace:    rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Per-node accepted input edges, in network event order.
+		inputs := make(map[int][]Input)
+		for _, e := range rec.Events {
+			if e.Kind != trace.KindDeliver || !e.Accepted {
+				continue
+			}
+			role := grid.NumRoles
+			for _, l := range h.In(e.Node) {
+				if l.From == e.Peer {
+					role = l.Role
+					break
+				}
+			}
+			if role == grid.NumRoles {
+				t.Fatalf("delivery over unknown link %d→%d", e.Peer, e.Node)
+			}
+			inputs[e.Node] = append(inputs[e.Node], Input{Role: role, At: e.At})
+		}
+
+		for n := 0; n < h.NumNodes(); n++ {
+			if h.LayerOf(n) == 0 || plan.IsFaulty(n) {
+				continue
+			}
+			cfg := Config{TLink: params.TLinkMin, TSleep: params.TSleepMin}
+			for _, l := range h.In(n) {
+				if plan.Link(l.From, n) == fault.LinkStuck1 {
+					cfg.Stuck1[l.Role] = true
+				}
+			}
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fires := m.Run(inputs[n], res.Horizon)
+			want := res.Triggers[n]
+			if len(fires) != len(want) {
+				t.Fatalf("seed %d node %d: machine fired %d times (%v), network %d (%v)",
+					seed, n, len(fires), fires, len(want), want)
+			}
+			for i := range want {
+				if fires[i] != want[i] {
+					t.Fatalf("seed %d node %d fire %d: machine %v, network %v",
+						seed, n, i, fires[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceHexPlus repeats the cross-check on the augmented topology
+// with its five-pair guard.
+func TestConformanceHexPlus(t *testing.T) {
+	h := grid.MustHexPlus(6, 8)
+	params := core.Params{
+		Bounds:    delay.Paper,
+		TSleepMin: sim.Millisecond,
+		TSleepMax: sim.Millisecond,
+	}
+	rec := &trace.Recorder{}
+	res, err := core.Run(core.Config{
+		Graph:    h.Graph,
+		Params:   params,
+		Delay:    delay.Uniform{Bounds: delay.Paper},
+		Faults:   fault.NewPlan(h.NumNodes()),
+		Schedule: source.SinglePulse(make([]sim.Time, h.W)),
+		Seed:     5,
+		Trace:    rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make(map[int][]Input)
+	for _, e := range rec.Events {
+		if e.Kind != trace.KindDeliver || !e.Accepted {
+			continue
+		}
+		for _, l := range h.In(e.Node) {
+			if l.From == e.Peer {
+				inputs[e.Node] = append(inputs[e.Node], Input{Role: l.Role, At: e.At})
+				break
+			}
+		}
+	}
+	for n := 0; n < h.NumNodes(); n++ {
+		if h.LayerOf(n) == 0 {
+			continue
+		}
+		m, err := New(Config{Guard: grid.HexPlusGuardPairs, TSleep: params.TSleepMin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fires := m.Run(inputs[n], res.Horizon)
+		if len(fires) != 1 || fires[0] != res.Triggers[n][0] {
+			t.Fatalf("node %d: machine %v, network %v", n, fires, res.Triggers[n])
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package statemachine is an explicit, self-contained interpreter of the
+// two asynchronous state machines of the paper's Fig. 7: the firing machine
+// (ready → firing → sleeping → ready, clearing memory flags on the last
+// transition) and the per-link memory-flag machine (ready → memorize →
+// ready on link timeout). It models a *single* HEX node driven by a timed
+// sequence of input edges — the software analogue of the VHDL unit
+// testbench — and is implemented independently of internal/core so the two
+// can be checked against each other (see the conformance tests).
+package statemachine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// FireState is the state of the Fig. 7a machine.
+type FireState uint8
+
+const (
+	// Ready: waiting for the trigger condition of Algorithm 1.
+	Ready FireState = iota
+	// Sleeping: pulse emitted, ignoring the guard until the sleep timer
+	// expires. (The transient "firing" state of Fig. 7a collapses to the
+	// instant of pulse emission in this zero-delay model.)
+	Sleeping
+)
+
+// String names the state.
+func (s FireState) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Sleeping:
+		return "sleeping"
+	}
+	return fmt.Sprintf("FireState(%d)", uint8(s))
+}
+
+// Input is one rising edge on an input port.
+type Input struct {
+	Role grid.Role
+	At   sim.Time
+}
+
+// Config parameterizes the machine. Timers are deterministic here (the
+// analysis interval [T−, T+] collapses to a point), which is what makes
+// exact conformance against the network simulator checkable.
+type Config struct {
+	// Guard lists the input pairs that trigger the node; nil uses
+	// Algorithm 1's pairs.
+	Guard [][2]grid.Role
+	// TLink is the memory-flag timeout; 0 disables flag expiry.
+	TLink sim.Time
+	// TSleep is the sleep duration after firing. Must be positive.
+	TSleep sim.Time
+	// Stuck1 marks inputs that are permanently high (a Byzantine neighbor
+	// with constant-1 output).
+	Stuck1 [grid.NumRoles]bool
+}
+
+// Machine is a single HEX node.
+type Machine struct {
+	cfg   Config
+	state FireState
+	// set and expiry model the per-input flag machines.
+	set    [grid.NumRoles]bool
+	expiry [grid.NumRoles]sim.Time
+	wakeAt sim.Time
+	fires  []sim.Time
+}
+
+// New returns a machine in the initial state of Fig. 7: firing machine
+// ready, all flag machines ready (except stuck-1 inputs, which read high).
+func New(cfg Config) (*Machine, error) {
+	if cfg.TSleep <= 0 {
+		return nil, fmt.Errorf("statemachine: TSleep must be positive")
+	}
+	if cfg.Guard == nil {
+		cfg.Guard = grid.GuardPairs
+	}
+	m := &Machine{cfg: cfg}
+	for r := range m.expiry {
+		m.expiry[r] = sim.MaxTime
+		if cfg.Stuck1[r] {
+			m.set[r] = true
+		}
+	}
+	return m, nil
+}
+
+// State returns the firing machine's current state.
+func (m *Machine) State() FireState { return m.state }
+
+// Fires returns the pulse emission times so far.
+func (m *Machine) Fires() []sim.Time { return m.fires }
+
+// guard evaluates the trigger condition over the current flags.
+func (m *Machine) guard() bool {
+	for _, p := range m.cfg.Guard {
+		if m.set[p[0]] && m.set[p[1]] {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceTo retires every timer that expires strictly before t, in time
+// order, updating flags and possibly waking (and re-firing on stuck-1
+// pairs).
+func (m *Machine) advanceTo(t sim.Time) {
+	for {
+		// Earliest pending deadline.
+		next := sim.MaxTime
+		for _, e := range m.expiry {
+			if e < next {
+				next = e
+			}
+		}
+		if m.state == Sleeping && m.wakeAt < next {
+			next = m.wakeAt
+		}
+		if next > t {
+			return
+		}
+		if m.state == Sleeping && m.wakeAt == next {
+			m.wake(next)
+			continue
+		}
+		for r := range m.expiry {
+			if m.expiry[r] == next {
+				m.set[r] = m.cfg.Stuck1[r] // stuck-1 inputs never clear
+				m.expiry[r] = sim.MaxTime
+			}
+		}
+	}
+}
+
+// wake performs the sleeping → ready transition: clear all memory flags
+// and re-evaluate the guard (permanently high inputs may re-trigger).
+func (m *Machine) wake(at sim.Time) {
+	m.state = Ready
+	m.wakeAt = sim.MaxTime
+	for r := range m.set {
+		m.set[r] = m.cfg.Stuck1[r]
+		m.expiry[r] = sim.MaxTime
+	}
+	m.maybeFire(at)
+}
+
+// maybeFire emits a pulse if ready and the guard holds.
+func (m *Machine) maybeFire(at sim.Time) {
+	if m.state != Ready || !m.guard() {
+		return
+	}
+	m.fires = append(m.fires, at)
+	m.state = Sleeping
+	m.wakeAt = at + m.cfg.TSleep
+}
+
+// edge processes a rising input edge at time `at`.
+func (m *Machine) edge(role grid.Role, at sim.Time) {
+	if m.set[role] {
+		// Flag machine already in memorize: the edge is absorbed and the
+		// running timer is NOT restarted (Fig. 7b).
+		return
+	}
+	m.set[role] = true
+	if m.cfg.TLink > 0 && !m.cfg.Stuck1[role] {
+		m.expiry[role] = at + m.cfg.TLink
+	}
+	m.maybeFire(at)
+}
+
+// Run feeds the machine a set of input edges and advances it to horizon,
+// returning all pulse emission times. Inputs need not be sorted. Run can
+// be called once per machine.
+func (m *Machine) Run(inputs []Input, horizon sim.Time) []sim.Time {
+	sorted := append([]Input(nil), inputs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	// A stuck-1 pair may fire the machine at time 0 before any input.
+	m.maybeFire(0)
+	for _, in := range sorted {
+		if in.At > horizon {
+			break
+		}
+		m.advanceTo(in.At)
+		m.edge(in.Role, in.At)
+	}
+	m.advanceTo(horizon)
+	return m.Fires()
+}

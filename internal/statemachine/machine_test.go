@@ -1,0 +1,207 @@
+package statemachine
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+func mustNew(t *testing.T, cfg Config) *Machine {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero TSleep accepted")
+	}
+}
+
+func TestCentralTrigger(t *testing.T) {
+	m := mustNew(t, Config{TSleep: 100})
+	fires := m.Run([]Input{
+		{Role: grid.RoleLowerLeft, At: 10},
+		{Role: grid.RoleLowerRight, At: 25},
+	}, 1000)
+	if len(fires) != 1 || fires[0] != 25 {
+		t.Errorf("fires = %v, want [25]", fires)
+	}
+	if m.State() != Ready { // woke at 125
+		t.Errorf("state = %v", m.State())
+	}
+}
+
+func TestLeftAndRightTrigger(t *testing.T) {
+	m := mustNew(t, Config{TSleep: 100})
+	fires := m.Run([]Input{
+		{Role: grid.RoleLeft, At: 5},
+		{Role: grid.RoleLowerLeft, At: 12},
+	}, 1000)
+	if len(fires) != 1 || fires[0] != 12 {
+		t.Errorf("left-trigger fires = %v", fires)
+	}
+	m = mustNew(t, Config{TSleep: 100})
+	fires = m.Run([]Input{
+		{Role: grid.RoleLowerRight, At: 7},
+		{Role: grid.RoleRight, At: 9},
+	}, 1000)
+	if len(fires) != 1 || fires[0] != 9 {
+		t.Errorf("right-trigger fires = %v", fires)
+	}
+}
+
+func TestNonAdjacentPairDoesNotFire(t *testing.T) {
+	m := mustNew(t, Config{TSleep: 100})
+	fires := m.Run([]Input{
+		{Role: grid.RoleLeft, At: 5},
+		{Role: grid.RoleRight, At: 9},
+		{Role: grid.RoleLeft, At: 50}, // absorbed, flag already set
+	}, 1000)
+	if len(fires) != 0 {
+		t.Errorf("(left,right) fired Algorithm 1's guard: %v", fires)
+	}
+}
+
+func TestLinkTimeoutForgets(t *testing.T) {
+	m := mustNew(t, Config{TSleep: 100, TLink: 20})
+	fires := m.Run([]Input{
+		{Role: grid.RoleLowerLeft, At: 0},
+		{Role: grid.RoleLowerRight, At: 30}, // lower-left forgotten at 20
+	}, 1000)
+	if len(fires) != 0 {
+		t.Errorf("fired despite expired flag: %v", fires)
+	}
+	// Within the timeout it still fires.
+	m = mustNew(t, Config{TSleep: 100, TLink: 20})
+	fires = m.Run([]Input{
+		{Role: grid.RoleLowerLeft, At: 0},
+		{Role: grid.RoleLowerRight, At: 19},
+	}, 1000)
+	if len(fires) != 1 {
+		t.Errorf("did not fire within timeout: %v", fires)
+	}
+}
+
+func TestAbsorbedEdgeDoesNotRestartTimer(t *testing.T) {
+	// Second edge on a memorized input must not extend the timeout
+	// (Fig. 7b has no re-arm transition in memorize).
+	m := mustNew(t, Config{TSleep: 100, TLink: 20})
+	fires := m.Run([]Input{
+		{Role: grid.RoleLowerLeft, At: 0},
+		{Role: grid.RoleLowerLeft, At: 15}, // absorbed
+		{Role: grid.RoleLowerRight, At: 25},
+	}, 1000)
+	if len(fires) != 0 {
+		t.Errorf("absorbed edge extended the timer: %v", fires)
+	}
+}
+
+func TestSleepBlocksAndWakeClears(t *testing.T) {
+	m := mustNew(t, Config{TSleep: 100})
+	fires := m.Run([]Input{
+		{Role: grid.RoleLowerLeft, At: 10},
+		{Role: grid.RoleLowerRight, At: 10},
+		// Arrivals during sleep are memorized but cleared at wake (110).
+		{Role: grid.RoleLeft, At: 50},
+		{Role: grid.RoleLowerLeft, At: 60},
+		// After wake only one fresh edge: no fire.
+		{Role: grid.RoleLowerRight, At: 200},
+	}, 1000)
+	if len(fires) != 1 || fires[0] != 10 {
+		t.Errorf("fires = %v, want [10]", fires)
+	}
+}
+
+func TestSecondPulseAfterWake(t *testing.T) {
+	m := mustNew(t, Config{TSleep: 100})
+	fires := m.Run([]Input{
+		{Role: grid.RoleLowerLeft, At: 10},
+		{Role: grid.RoleLowerRight, At: 10},
+		{Role: grid.RoleLowerLeft, At: 300},
+		{Role: grid.RoleLowerRight, At: 320},
+	}, 1000)
+	if len(fires) != 2 || fires[1] != 320 {
+		t.Errorf("fires = %v, want [10 320]", fires)
+	}
+}
+
+func TestStuck1PairFiresImmediately(t *testing.T) {
+	cfg := Config{TSleep: 100}
+	cfg.Stuck1[grid.RoleLowerLeft] = true
+	cfg.Stuck1[grid.RoleLowerRight] = true
+	m := mustNew(t, cfg)
+	fires := m.Run(nil, 350)
+	// Fires at 0, wakes at 100 and refires immediately, etc.
+	want := []sim.Time{0, 100, 200, 300}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestStuck1SingleNeedsOneMessage(t *testing.T) {
+	cfg := Config{TSleep: 1000, TLink: 50}
+	cfg.Stuck1[grid.RoleLowerLeft] = true
+	m := mustNew(t, cfg)
+	fires := m.Run([]Input{{Role: grid.RoleLowerRight, At: 42}}, 2000)
+	if len(fires) != 1 || fires[0] != 42 {
+		t.Errorf("fires = %v, want [42]", fires)
+	}
+}
+
+func TestHexPlusGuard(t *testing.T) {
+	m := mustNew(t, Config{TSleep: 100, Guard: grid.HexPlusGuardPairs})
+	fires := m.Run([]Input{
+		{Role: grid.RoleLowerLeftOuter, At: 10},
+		{Role: grid.RoleLowerLeft, At: 20},
+	}, 1000)
+	if len(fires) != 1 || fires[0] != 20 {
+		t.Errorf("HEX+ outer pair did not fire: %v", fires)
+	}
+	// The same pair is meaningless under the plain guard.
+	m = mustNew(t, Config{TSleep: 100})
+	fires = m.Run([]Input{
+		{Role: grid.RoleLowerLeftOuter, At: 10},
+		{Role: grid.RoleLowerLeft, At: 20},
+	}, 1000)
+	if len(fires) != 0 {
+		t.Errorf("plain guard fired on outer input: %v", fires)
+	}
+}
+
+func TestUnsortedInputs(t *testing.T) {
+	m := mustNew(t, Config{TSleep: 100})
+	fires := m.Run([]Input{
+		{Role: grid.RoleLowerRight, At: 25},
+		{Role: grid.RoleLowerLeft, At: 10},
+	}, 1000)
+	if len(fires) != 1 || fires[0] != 25 {
+		t.Errorf("unsorted inputs broke the machine: %v", fires)
+	}
+}
+
+func TestHorizonCutsInputs(t *testing.T) {
+	m := mustNew(t, Config{TSleep: 100})
+	fires := m.Run([]Input{
+		{Role: grid.RoleLowerLeft, At: 10},
+		{Role: grid.RoleLowerRight, At: 2000},
+	}, 1000)
+	if len(fires) != 0 {
+		t.Errorf("input beyond horizon processed: %v", fires)
+	}
+}
+
+func TestFireStateString(t *testing.T) {
+	if Ready.String() != "ready" || Sleeping.String() != "sleeping" {
+		t.Error("state names wrong")
+	}
+}

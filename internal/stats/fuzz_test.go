@@ -1,0 +1,31 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSummarize checks the ordering invariants of the five-operator summary
+// on arbitrary finite inputs.
+func FuzzSummarize(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(-5.0, 0.0, 0.0, 5.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		xs := make([]float64, 0, 4)
+		for _, v := range []float64{a, b, c, d} {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			t.Skip()
+		}
+		s := Summarize(xs)
+		if !(s.Min <= s.Q5 && s.Q5 <= s.Q95 && s.Q95 <= s.Max) {
+			t.Fatalf("quantile ordering broken: %+v", s)
+		}
+		if s.Avg < s.Min-1e-9 || s.Avg > s.Max+1e-9 {
+			t.Fatalf("mean outside range: %+v", s)
+		}
+	})
+}

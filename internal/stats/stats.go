@@ -1,0 +1,197 @@
+// Package stats provides the descriptive statistics used by the paper's
+// evaluation: min/max, averages, standard deviations, quantiles (5% and 95%
+// feature throughout Section 4), histograms and the five-operator summaries
+// {min, q5, avg, q95, max} used in Tables 1–2 and the box plots of
+// Figs. 15–16.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is the five-operator summary the paper reports for skew
+// distributions.
+type Summary struct {
+	N   int
+	Min float64
+	Q5  float64
+	Avg float64
+	Q95 float64
+	Max float64
+	Std float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero Summary
+// with N == 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:   len(sorted),
+		Min: sorted[0],
+		Q5:  QuantileSorted(sorted, 0.05),
+		Avg: Mean(sorted),
+		Q95: QuantileSorted(sorted, 0.95),
+		Max: sorted[len(sorted)-1],
+		Std: Std(sorted),
+	}
+}
+
+// String formats the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3f q5=%.3f avg=%.3f q95=%.3f max=%.3f", s.N, s.Min, s.Q5, s.Avg, s.Q95, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs (0 for fewer than two
+// values).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the minimum of xs; it panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It copies and sorts its input.
+func Quantile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile over an already-sorted slice.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	BinWidth float64
+	Counts   []int
+	// Under and Over count values falling outside [Lo, Hi).
+	Under, Over int
+	Total       int
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins over
+// [lo, hi). bins must be positive and hi > lo.
+func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	h := &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		BinWidth: (hi - lo) / float64(bins),
+		Counts:   make([]int, bins),
+	}
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add records one value.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		idx := int((x - h.Lo) / h.BinWidth)
+		if idx >= len(h.Counts) { // guard against FP edge
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth
+}
+
+// MaxCount returns the largest bin count (including Under/Over).
+func (h *Histogram) MaxCount() int {
+	m := h.Under
+	if h.Over > m {
+		m = h.Over
+	}
+	for _, c := range h.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}

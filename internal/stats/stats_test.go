@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almostEqual(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean broken")
+	}
+}
+
+func TestStd(t *testing.T) {
+	if Std([]float64{5}) != 0 {
+		t.Error("Std of singleton")
+	}
+	// Population std of {2,4,4,4,5,5,7,9} is 2.
+	if !almostEqual(Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2) {
+		t.Errorf("Std = %v, want 2", Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Error("Min/Max broken")
+	}
+}
+
+func TestMinPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for q, want := range cases {
+		if got := Quantile(xs, q); !almostEqual(got, want) {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.3); !almostEqual(got, 3) {
+		t.Errorf("interpolated quantile = %v, want 3", got)
+	}
+	// Input is not mutated.
+	orig := []float64{5, 1, 3}
+	Quantile(orig, 0.5)
+	if orig[0] != 5 || orig[1] != 1 || orig[2] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q1 := float64(a%101) / 100
+		q2 := float64(b%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(xs, q1) <= Quantile(xs, q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Error("empty summary has N != 0")
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s = Summarize(xs)
+	if s.N != 10 || s.Min != 1 || s.Max != 10 || !almostEqual(s.Avg, 5.5) {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.Q5 >= s.Avg || s.Q95 <= s.Avg {
+		t.Errorf("quantiles out of order: %+v", s)
+	}
+}
+
+func TestSummarizeOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Restrict to the magnitudes the library actually sees
+			// (nanosecond-scale skews); Mean overflows near ±MaxFloat64.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e12))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Q5 && s.Q5 <= s.Q95 && s.Q95 <= s.Max &&
+			s.Min <= s.Avg && s.Avg <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 1.5, 1.6, 2.5, -1, 10}, 0, 3, 3)
+	if h.Total != 6 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("Under/Over = %d/%d", h.Under, h.Over)
+	}
+	want := []int{1, 2, 1}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], c)
+		}
+	}
+	if !almostEqual(h.BinCenter(0), 0.5) {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+	if h.MaxCount() != 2 {
+		t.Errorf("MaxCount = %d", h.MaxCount())
+	}
+}
+
+func TestHistogramBoundary(t *testing.T) {
+	h := NewHistogram(nil, 0, 10, 10)
+	h.Add(0) // inclusive low edge
+	h.Add(10)
+	if h.Counts[0] != 1 || h.Over != 1 {
+		t.Error("boundary handling wrong")
+	}
+}
+
+func TestHistogramCountConservationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		h := NewHistogram(xs, -100, 100, 7)
+		sum := h.Under + h.Over
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == len(xs) && h.Total == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileSortedAgainstSortCheck(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if Quantile(xs, 0.5) != QuantileSorted(sorted, 0.5) {
+		t.Error("Quantile disagrees with QuantileSorted")
+	}
+}

@@ -1,0 +1,175 @@
+// Package theory implements the paper's closed-form results: the skew
+// bounds of Section 3.1 (Lemmas 2–4, Corollary 1, Theorem 1), the coarse
+// fault-tolerant bound of Lemma 5, the self-stabilization parameters of
+// Condition 2 (Section 3.3, Table 3), and the context lower bounds cited in
+// the introduction. These are used both to parameterize simulations and to
+// check simulated skews against their analytical envelopes.
+package theory
+
+import (
+	"math"
+
+	"repro/internal/delay"
+	"repro/internal/sim"
+)
+
+// ceilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0.
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("theory: ceilDiv with non-positive divisor")
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// Lambda0 returns λ0 := ⌊ℓ·d−/d+⌋, the last layer a slowest chain can have
+// reached while a fastest chain completes ℓ hops (proof of Lemma 4).
+func Lambda0(l int, b delay.Bounds) int {
+	return int(int64(l) * int64(b.Min) / int64(b.Max))
+}
+
+// Delta returns δ := d−/2 − ε of Corollary 1.
+func Delta(b delay.Bounds) sim.Time { return b.Min/2 - b.Epsilon() }
+
+// Lemma3SkewPotential bounds the skew potential of every layer
+// ℓ ≥ W−2 by 2(W−2)ε, independent of the layer-0 skews (Lemma 3).
+func Lemma3SkewPotential(w int, b delay.Bounds) sim.Time {
+	return 2 * sim.Time(w-2) * b.Epsilon()
+}
+
+// Lemma4IntraBound bounds |t_{ℓ,i} − t_{ℓ,i+1}| for ℓ > ℓ0 given the skew
+// potential Δ_{ℓ0}: d+ + ⌈(ℓ−ℓ0)ε/d+⌉·ε + Δ_{ℓ0} (Lemma 4).
+func Lemma4IntraBound(l, l0 int, b delay.Bounds, delta0 sim.Time) sim.Time {
+	eps := b.Epsilon()
+	k := ceilDiv(int64(l-l0)*int64(eps), int64(b.Max))
+	return b.Max + sim.Time(k)*eps + delta0
+}
+
+// Corollary1Bound bounds |t_{ℓ,i} − t_{ℓ,i+1}| for ℓ ≥ W taking the width
+// constraint (wrap-around collision) into account:
+// max{d+ + ⌈Wε/d+⌉ε, Δ_{ℓ−W} + d+ − Wδ}.
+func Corollary1Bound(w int, b delay.Bounds, deltaLW sim.Time) sim.Time {
+	eps := b.Epsilon()
+	first := b.Max + sim.Time(ceilDiv(int64(w)*int64(eps), int64(b.Max)))*eps
+	second := deltaLW + b.Max - sim.Time(w)*Delta(b)
+	return sim.MaxOf(first, second)
+}
+
+// Theorem1IntraBound returns the intra-layer skew bound σℓ of Theorem 1
+// (which requires ε ≤ d+/7). With Δ0 = 0 the bound d+ + ⌈Wε/d+⌉ε holds
+// uniformly; with arbitrary Δ0 it holds from layer 2W−2 on, while layers
+// 1 … 2W−3 obey d+ + 2Wε²/d+ + Δ0.
+func Theorem1IntraBound(l, w int, b delay.Bounds, delta0 sim.Time) sim.Time {
+	eps := b.Epsilon()
+	uniform := b.Max + sim.Time(ceilDiv(int64(w)*int64(eps), int64(b.Max)))*eps
+	if delta0 == 0 || l >= 2*w-2 {
+		return uniform
+	}
+	low := b.Max + sim.Time(ceilDiv(2*int64(w)*int64(eps)*int64(eps), int64(b.Max))) + delta0
+	return low
+}
+
+// Theorem1InterWindow returns the signed inter-layer skew window of
+// Theorem 1's last statement: t_{ℓ,i} − t_{ℓ−1,·} ∈ [d− − σ_{ℓ−1}, d+ + σ_{ℓ−1}].
+func Theorem1InterWindow(sigmaPrev sim.Time, b delay.Bounds) (lo, hi sim.Time) {
+	return b.Min - sigmaPrev, b.Max + sigmaPrev
+}
+
+// Lemma5TriggerWindow bounds the triggering times of all correct nodes in
+// layer ℓ, given that correct layer-0 nodes trigger in [tmin, tmax] and fl
+// of the layers 0..ℓ−1 contain a faulty node: [tmin + ℓd−, tmax + (ℓ+fl)d+].
+func Lemma5TriggerWindow(tmin, tmax sim.Time, l, fl int, b delay.Bounds) (lo, hi sim.Time) {
+	return tmin + sim.Time(l)*b.Min, tmax + sim.Time(l+fl)*b.Max
+}
+
+// Lemma5PulseSkewBound is Lemma 5's coarse skew bound for the whole pulse:
+// σ(f) < (tmax − tmin) + εL + f·d+.
+func Lemma5PulseSkewBound(spread sim.Time, L, f int, b delay.Bounds) sim.Time {
+	return spread + sim.Time(L)*b.Epsilon() + sim.Time(f)*b.Max
+}
+
+// Drift is the clock drift bound ϑ ≥ 1 of Condition 2, represented as the
+// rational Num/Den to keep all timeout arithmetic in integer picoseconds.
+type Drift struct {
+	Num, Den int64
+}
+
+// PaperDrift is ϑ = 1.05 as assumed in the paper's stabilization
+// experiments (Section 4.4).
+var PaperDrift = Drift{Num: 105, Den: 100}
+
+// Float returns ϑ as a float64.
+func (d Drift) Float() float64 { return float64(d.Num) / float64(d.Den) }
+
+// Stretch returns t·ϑ rounded to the nearest picosecond.
+func (d Drift) Stretch(t sim.Time) sim.Time { return sim.Scale(t, d.Num, d.Den) }
+
+// Timeouts are the algorithm parameters prescribed by Condition 2.
+type Timeouts struct {
+	TLinkMin, TLinkMax   sim.Time
+	TSleepMin, TSleepMax sim.Time
+	// Separation is the minimal pulse separation time S(f).
+	Separation sim.Time
+}
+
+// Condition2 computes the timing constraints of Condition 2 for a stable
+// skew bound σ(f), grid length L, f Byzantine faults and drift ϑ:
+//
+//	T−link  = σ(f) + ε        T+link  = ϑ·T−link
+//	T−sleep = 2T+link + 2d+   T+sleep = ϑ·T−sleep
+//	S       = T−sleep + T+sleep + εL + f·d+
+func Condition2(sigmaStable sim.Time, b delay.Bounds, L, f int, theta Drift) Timeouts {
+	t := Timeouts{}
+	t.TLinkMin = sigmaStable + b.Epsilon()
+	t.TLinkMax = theta.Stretch(t.TLinkMin)
+	t.TSleepMin = 2*t.TLinkMax + 2*b.Max
+	t.TSleepMax = theta.Stretch(t.TSleepMin)
+	t.Separation = t.TSleepMin + t.TSleepMax + sim.Time(L)*b.Epsilon() + sim.Time(f)*b.Max
+	return t
+}
+
+// Theorem2StabilizationPulses returns the worst-case stabilization time
+// bound of Theorem 2 in pulses: every layer ℓ is stable in all pulses
+// k > ℓ, so the whole grid is stable after L+1 pulses.
+func Theorem2StabilizationPulses(L int) int { return L + 1 }
+
+// DiameterLowerBound is the classic Dε/2 lower bound on the worst-case
+// global skew of any deterministic clock synchronization algorithm [19].
+func DiameterLowerBound(diameter int, b delay.Bounds) sim.Time {
+	return sim.Time(diameter) * b.Epsilon() / 2
+}
+
+// GradientLowerBound approximates the Ω(ε·log D) gradient clock
+// synchronization lower bound on the neighbor skew [20].
+func GradientLowerBound(diameter int, b delay.Bounds) sim.Time {
+	if diameter < 2 {
+		return 0
+	}
+	return sim.Time(float64(b.Epsilon()) * math.Log2(float64(diameter)))
+}
+
+// Condition1ProbLowerBound returns the paper's lower bound
+// (1 − 13(f−1)/n)^f on the probability that f uniformly random faults
+// satisfy Condition 1 in a grid of n nodes (Section 3.2).
+func Condition1ProbLowerBound(n, f int) float64 {
+	if f <= 1 {
+		return 1
+	}
+	base := 1 - 13*float64(f-1)/float64(n)
+	if base < 0 {
+		return 0
+	}
+	return math.Pow(base, float64(f))
+}
+
+// HexWireLength returns the asymptotic neighbor wire length of a HEX grid
+// with constant node density: Θ(1), reported as 1 unit.
+func HexWireLength(n int) float64 { return 1 }
+
+// TreeWireLength returns the asymptotic worst neighbor separation of a
+// clock tree over n leaves laid out on a √n × √n die: some physically
+// adjacent functional units are separated by Θ(√n) of wire through the
+// tree root.
+func TreeWireLength(n int) float64 { return math.Sqrt(float64(n)) }

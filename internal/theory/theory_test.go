@@ -1,0 +1,238 @@
+package theory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/delay"
+	"repro/internal/sim"
+)
+
+func TestLambda0(t *testing.T) {
+	b := delay.Paper
+	// λ0 = ⌊ℓ·7161/8197⌋.
+	cases := map[int]int{0: 0, 1: 0, 8: 6, 50: 43}
+	for l, want := range cases {
+		if got := Lambda0(l, b); got != want {
+			t.Errorf("Lambda0(%d) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestDelta(t *testing.T) {
+	b := delay.Paper
+	// δ = d−/2 − ε = 3580.5 → 3580 (integer division) − wait: 7161/2 = 3580.
+	want := sim.Time(7161/2 - 1036)
+	if got := Delta(b); got != want {
+		t.Errorf("Delta = %v, want %v", got, want)
+	}
+}
+
+func TestLemma3(t *testing.T) {
+	b := delay.Paper
+	if got := Lemma3SkewPotential(20, b); got != 2*18*1036 {
+		t.Errorf("Lemma3 = %v", got)
+	}
+}
+
+func TestLemma4Bound(t *testing.T) {
+	b := delay.Paper
+	// ℓ−ℓ0 = 50: ⌈50·1036/8197⌉ = ⌈6.32⌉ = 7 → 8197 + 7·1036 = 15449.
+	if got := Lemma4IntraBound(50, 0, b, 0); got != 15449 {
+		t.Errorf("Lemma4(50) = %v, want 15.449ns", got)
+	}
+	// Δ0 is additive.
+	if got := Lemma4IntraBound(50, 0, b, 1000); got != 16449 {
+		t.Errorf("Lemma4 with Δ0 = %v", got)
+	}
+	// ℓ = ℓ0 + 1 small case: ⌈1036/8197⌉ = 1.
+	if got := Lemma4IntraBound(1, 0, b, 0); got != 8197+1036 {
+		t.Errorf("Lemma4(1) = %v", got)
+	}
+}
+
+func TestTheorem1Bound(t *testing.T) {
+	b := delay.Paper
+	// Uniform bound: d+ + ⌈20·1036/8197⌉·1036 = 8197 + 3·1036 = 11305.
+	if got := Theorem1IntraBound(50, 20, b, 0); got != 11305 {
+		t.Errorf("Theorem1 uniform = %v, want 11.305ns", got)
+	}
+	// With Δ0 > 0, low layers get d+ + ⌈2Wε²/d+⌉ + Δ0.
+	delta0 := sim.Time(10360)
+	low := Theorem1IntraBound(10, 20, b, delta0)
+	if low <= 11305 {
+		t.Errorf("low-layer bound %v should exceed uniform bound", low)
+	}
+	// From layer 2W−2 on, the uniform bound applies again.
+	if got := Theorem1IntraBound(2*20-2, 20, b, delta0); got != 11305 {
+		t.Errorf("Theorem1 at 2W−2 = %v", got)
+	}
+}
+
+func TestTheorem1InterWindow(t *testing.T) {
+	b := delay.Paper
+	lo, hi := Theorem1InterWindow(11305, b)
+	if lo != 7161-11305 || hi != 8197+11305 {
+		t.Errorf("window = [%v, %v]", lo, hi)
+	}
+}
+
+func TestLemma5(t *testing.T) {
+	b := delay.Paper
+	// σ(f) < spread + εL + f·d+.
+	if got := Lemma5PulseSkewBound(0, 50, 0, b); got != 50*1036 {
+		t.Errorf("Lemma5 fault-free = %v", got)
+	}
+	if got := Lemma5PulseSkewBound(8197, 50, 5, b); got != 8197+50*1036+5*8197 {
+		t.Errorf("Lemma5 with faults = %v", got)
+	}
+	lo, hi := Lemma5TriggerWindow(100, 200, 10, 2, b)
+	if lo != 100+10*7161 || hi != 200+12*8197 {
+		t.Errorf("trigger window = [%v, %v]", lo, hi)
+	}
+}
+
+func TestCondition2MatchesPaperArithmetic(t *testing.T) {
+	// Check the exact chain of Condition 2 for a round σ.
+	b := delay.Paper
+	to := Condition2(30000, b, 50, 5, PaperDrift)
+	if to.TLinkMin != 30000+1036 {
+		t.Errorf("T−link = %v", to.TLinkMin)
+	}
+	if to.TLinkMax != sim.Scale(to.TLinkMin, 105, 100) {
+		t.Errorf("T+link = %v", to.TLinkMax)
+	}
+	if to.TSleepMin != 2*to.TLinkMax+2*b.Max {
+		t.Errorf("T−sleep = %v", to.TSleepMin)
+	}
+	if to.TSleepMax != sim.Scale(to.TSleepMin, 105, 100) {
+		t.Errorf("T+sleep = %v", to.TSleepMax)
+	}
+	wantS := to.TSleepMin + to.TSleepMax + 50*1036 + 5*8197
+	if to.Separation != wantS {
+		t.Errorf("S = %v, want %v", to.Separation, wantS)
+	}
+}
+
+func TestCondition2MonotoneInSigmaAndF(t *testing.T) {
+	b := delay.Paper
+	f := func(s1, s2 uint16, f1, f2 uint8) bool {
+		sa, sb := sim.Time(s1), sim.Time(s2)
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		fa, fb := int(f1%10), int(f2%10)
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		t1 := Condition2(sa, b, 50, fa, PaperDrift)
+		t2 := Condition2(sb, b, 50, fb, PaperDrift)
+		return t1.TLinkMin <= t2.TLinkMin && t1.TSleepMin <= t2.TSleepMin &&
+			t1.Separation <= t2.Separation
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondition2TimerOrdering(t *testing.T) {
+	// For any inputs, T− ≤ T+ and sleep covers two link timeouts.
+	b := delay.Paper
+	f := func(s uint16, faults uint8) bool {
+		to := Condition2(sim.Time(s), b, 50, int(faults%10), PaperDrift)
+		return to.TLinkMin <= to.TLinkMax &&
+			to.TSleepMin <= to.TSleepMax &&
+			to.TSleepMin >= 2*to.TLinkMax+2*b.Max &&
+			to.Separation >= to.TSleepMin+to.TSleepMax
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDriftStretch(t *testing.T) {
+	if PaperDrift.Float() != 1.05 {
+		t.Error("paper drift wrong")
+	}
+	if got := PaperDrift.Stretch(100); got != 105 {
+		t.Errorf("Stretch(100) = %v", got)
+	}
+	unit := Drift{Num: 1, Den: 1}
+	if got := unit.Stretch(12345); got != 12345 {
+		t.Errorf("unit drift changed value: %v", got)
+	}
+}
+
+func TestTheorem2(t *testing.T) {
+	if Theorem2StabilizationPulses(50) != 51 {
+		t.Error("Theorem 2 bound wrong")
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	b := delay.Paper
+	if got := DiameterLowerBound(60, b); got != 60*1036/2 {
+		t.Errorf("Dε/2 = %v", got)
+	}
+	if GradientLowerBound(1, b) != 0 {
+		t.Error("degenerate gradient bound")
+	}
+	g := GradientLowerBound(64, b)
+	if g < 6*1036-10 || g > 6*1036+10 {
+		t.Errorf("gradient bound at D=64 = %v, want ≈6ε", g)
+	}
+}
+
+func TestCondition1Prob(t *testing.T) {
+	if Condition1ProbLowerBound(1020, 1) != 1 {
+		t.Error("f=1 probability must be 1")
+	}
+	p := Condition1ProbLowerBound(1020, 5)
+	if p <= 0 || p >= 1 {
+		t.Errorf("p = %v", p)
+	}
+	// More faults → smaller bound.
+	if Condition1ProbLowerBound(1020, 10) >= p {
+		t.Error("probability bound not decreasing in f")
+	}
+	// Tiny grid, many faults → clamps at 0.
+	if Condition1ProbLowerBound(20, 10) != 0 {
+		t.Error("expected clamped 0 probability")
+	}
+}
+
+func TestWireLengths(t *testing.T) {
+	if HexWireLength(4096) != 1 {
+		t.Error("hex wire length should be constant")
+	}
+	if TreeWireLength(4096) != 64 {
+		t.Errorf("tree wire length = %v", TreeWireLength(4096))
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0}, {1, 5, 1}, {5, 5, 1}, {6, 5, 2}, {51800, 8197, 7},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCorollary1Bound(t *testing.T) {
+	b := delay.Paper
+	// δ = 2544 > 2ε would make the second term negative for any Δ below
+	// W·δ − d+; with ε ≤ d+/7 the first term dominates (Theorem 1's proof).
+	first := b.Max + sim.Time(3)*b.Epsilon() // ⌈20·1036/8197⌉ = 3
+	if got := Corollary1Bound(20, b, 0); got != first {
+		t.Errorf("Corollary1Bound(Δ=0) = %v, want %v", got, first)
+	}
+	// A huge skew potential makes the second term dominate.
+	huge := sim.Time(1000000)
+	want := huge + b.Max - 20*Delta(b)
+	if got := Corollary1Bound(20, b, huge); got != want {
+		t.Errorf("Corollary1Bound(huge Δ) = %v, want %v", got, want)
+	}
+}

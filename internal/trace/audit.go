@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// Auditor replays a recorded run against the semantics of Algorithm 1.
+// It must be given the same graph, fault plan and parameters as the run.
+// The replay assumes the run started from the clean initial state
+// (Config.RandomInit == false); arbitrary initial flags would make fires
+// look unjustified to an external observer.
+type Auditor struct {
+	G      *grid.Graph
+	Plan   *fault.Plan
+	Params core.Params
+}
+
+// AuditAll runs every audit and returns the first failure.
+func (a *Auditor) AuditAll(r *Recorder) error {
+	if err := a.AuditMessages(r); err != nil {
+		return err
+	}
+	if err := a.AuditGuards(r); err != nil {
+		return err
+	}
+	return a.AuditSleepDiscipline(r)
+}
+
+type sendKey struct {
+	from, to int
+	arrival  sim.Time
+}
+
+// AuditMessages checks that every delivery matches a previously recorded
+// send with the same arrival time, and that every send's delay lies within
+// the configured [d−, d+].
+func (a *Auditor) AuditMessages(r *Recorder) error {
+	pending := make(map[sendKey]int)
+	for i, e := range r.Events {
+		switch e.Kind {
+		case KindSend:
+			d := e.Arrival - e.At
+			if d < a.Params.Bounds.Min || d > a.Params.Bounds.Max {
+				return fmt.Errorf("trace: event %d: send %d→%d has delay %v outside %v",
+					i, e.Node, e.Peer, d, a.Params.Bounds)
+			}
+			pending[sendKey{e.Node, e.Peer, e.Arrival}]++
+		case KindDeliver:
+			k := sendKey{e.Peer, e.Node, e.At}
+			if pending[k] == 0 {
+				return fmt.Errorf("trace: event %d: delivery %d→%d at %v without matching send",
+					i, e.Peer, e.Node, e.At)
+			}
+			pending[k]--
+		}
+	}
+	return nil
+}
+
+// replayNode mirrors one forwarding node's observable state.
+type replayNode struct {
+	set      []bool // parallel to Graph.In(node)
+	stuck1   []bool
+	sleeping bool
+	sleptAt  sim.Time
+}
+
+// AuditGuards reconstructs every node's memory flags from the event stream
+// alone and verifies that each non-source fire had a satisfied guard at
+// fire time, that sleeping nodes never fire, and that flags behave as
+// recorded (no expiry of an unset flag, deliveries accepted exactly when
+// the link is correct and the flag clear).
+func (a *Auditor) AuditGuards(r *Recorder) error {
+	nodes := make([]replayNode, a.G.NumNodes())
+	for n := range nodes {
+		in := a.G.In(n)
+		nodes[n].set = make([]bool, len(in))
+		nodes[n].stuck1 = make([]bool, len(in))
+		for i, l := range in {
+			if a.Plan.Link(l.From, n) == fault.LinkStuck1 && !a.Plan.IsFaulty(n) {
+				nodes[n].stuck1[i] = true
+				nodes[n].set[i] = true
+			}
+		}
+	}
+	inputIndex := func(to, from int) int {
+		for i, l := range a.G.In(to) {
+			if l.From == from {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for i, e := range r.Events {
+		st := &nodes[e.Node]
+		switch e.Kind {
+		case KindDeliver:
+			if !e.Accepted {
+				continue
+			}
+			idx := inputIndex(e.Node, e.Peer)
+			if idx < 0 {
+				return fmt.Errorf("trace: event %d: delivery over non-existent link %d→%d", i, e.Peer, e.Node)
+			}
+			if a.Plan.Link(e.Peer, e.Node) != fault.LinkCorrect {
+				return fmt.Errorf("trace: event %d: accepted delivery over a stuck link %d→%d", i, e.Peer, e.Node)
+			}
+			if st.set[idx] {
+				return fmt.Errorf("trace: event %d: accepted delivery into an already-set flag at node %d input %d",
+					i, e.Node, idx)
+			}
+			st.set[idx] = true
+		case KindFlagExpire:
+			if e.Peer < 0 || e.Peer >= len(st.set) {
+				return fmt.Errorf("trace: event %d: flag expiry with bad input index %d", i, e.Peer)
+			}
+			if !st.set[e.Peer] {
+				return fmt.Errorf("trace: event %d: expiry of unset flag at node %d input %d", i, e.Node, e.Peer)
+			}
+			if st.stuck1[e.Peer] {
+				return fmt.Errorf("trace: event %d: expiry of a stuck-1 input at node %d", i, e.Node)
+			}
+			st.set[e.Peer] = false
+		case KindFire:
+			if e.Source {
+				if a.G.LayerOf(e.Node) != 0 {
+					return fmt.Errorf("trace: event %d: source fire by non-source node %d", i, e.Node)
+				}
+				continue
+			}
+			if a.Plan.IsFaulty(e.Node) {
+				return fmt.Errorf("trace: event %d: faulty node %d fired", i, e.Node)
+			}
+			if st.sleeping {
+				return fmt.Errorf("trace: event %d: node %d fired while sleeping", i, e.Node)
+			}
+			if !a.guardHolds(e.Node, st) {
+				return fmt.Errorf("trace: event %d: unjustified fire of node %d at %v (flags %v)",
+					i, e.Node, e.At, st.set)
+			}
+		case KindSleep:
+			st.sleeping = true
+			st.sleptAt = e.At
+		case KindWake:
+			if !st.sleeping {
+				return fmt.Errorf("trace: event %d: wake of non-sleeping node %d", i, e.Node)
+			}
+			st.sleeping = false
+			for j := range st.set {
+				st.set[j] = st.stuck1[j]
+			}
+		}
+	}
+	return nil
+}
+
+// guardHolds evaluates the run's guard over the replayed flags.
+func (a *Auditor) guardHolds(node int, st *replayNode) bool {
+	var have [grid.NumRoles]bool
+	for i, l := range a.G.In(node) {
+		if st.set[i] && a.Plan.Link(l.From, node) != fault.LinkStuck0 {
+			have[l.Role] = true
+		}
+	}
+	switch a.Params.Guard {
+	case core.GuardAdjacent:
+		for _, p := range a.G.GuardPairs() {
+			if have[p[0]] && have[p[1]] {
+				return true
+			}
+		}
+		return false
+	case core.GuardAnyTwo:
+		count := 0
+		for _, h := range have {
+			if h {
+				count++
+			}
+		}
+		return count >= 2
+	}
+	return false
+}
+
+// AuditSleepDiscipline verifies that every forwarding fire is immediately
+// followed by a sleep, and that the node's next wake happens within
+// [TSleepMin, TSleepMax] of it.
+func (a *Auditor) AuditSleepDiscipline(r *Recorder) error {
+	sleptAt := make(map[int]sim.Time)
+	pendingSleep := make(map[int]bool)
+	for i, e := range r.Events {
+		switch e.Kind {
+		case KindFire:
+			if !e.Source {
+				pendingSleep[e.Node] = true
+			}
+		case KindSleep:
+			if !pendingSleep[e.Node] {
+				return fmt.Errorf("trace: event %d: sleep of node %d without a preceding fire", i, e.Node)
+			}
+			pendingSleep[e.Node] = false
+			sleptAt[e.Node] = e.At
+		case KindWake:
+			at, ok := sleptAt[e.Node]
+			if !ok {
+				return fmt.Errorf("trace: event %d: wake of node %d without recorded sleep", i, e.Node)
+			}
+			d := e.At - at
+			if d < a.Params.TSleepMin || d > a.Params.TSleepMax {
+				return fmt.Errorf("trace: event %d: node %d slept %v, outside [%v, %v]",
+					i, e.Node, d, a.Params.TSleepMin, a.Params.TSleepMax)
+			}
+			delete(sleptAt, e.Node)
+		}
+	}
+	for n, pending := range pendingSleep {
+		if pending {
+			return fmt.Errorf("trace: node %d fired without entering sleep", n)
+		}
+	}
+	return nil
+}
+
+// AuditFireCounts checks that every correct forwarding node fired exactly
+// `pulses` times and every correct source exactly `pulses` times.
+func (a *Auditor) AuditFireCounts(r *Recorder, pulses int) error {
+	counts := make([]int, a.G.NumNodes())
+	for _, e := range r.Events {
+		if e.Kind == KindFire {
+			counts[e.Node]++
+		}
+	}
+	for n, c := range counts {
+		if a.Plan.IsFaulty(n) {
+			if c != 0 {
+				return fmt.Errorf("trace: faulty node %d fired %d times", n, c)
+			}
+			continue
+		}
+		if c != pulses {
+			return fmt.Errorf("trace: node %d fired %d times, want %d", n, c, pulses)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Package trace records the internal events of a HEX simulation (message
+// sends and deliveries, memory-flag expiries, fires, sleep/wake
+// transitions) and audits the recorded run against the semantics of
+// Algorithm 1 *independently of the simulator's own state machine*: a
+// replay reconstructs every node's memory flags purely from the event
+// stream and verifies that each fire was justified by a satisfied guard,
+// that every delivery matches a send with a delay inside [d−, d+], that
+// the sleep discipline was respected, and that no correct node fired more
+// often than the pulse count allows. This is the repository's deepest
+// correctness check of the core engine.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Kind labels a recorded event.
+type Kind uint8
+
+const (
+	KindSend Kind = iota
+	KindDeliver
+	KindFlagExpire
+	KindFire
+	KindSleep
+	KindWake
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSend:
+		return "send"
+	case KindDeliver:
+		return "deliver"
+	case KindFlagExpire:
+		return "flag-expire"
+	case KindFire:
+		return "fire"
+	case KindSleep:
+		return "sleep"
+	case KindWake:
+		return "wake"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded simulation event.
+type Event struct {
+	Kind Kind
+	At   sim.Time
+	// Node is the owning node: the sender for Send, the receiver for
+	// Deliver, the flag/sleep owner otherwise.
+	Node int
+	// Peer is the other endpoint for Send/Deliver, or the input index for
+	// FlagExpire; unused otherwise.
+	Peer int
+	// Arrival is the scheduled arrival time of a Send.
+	Arrival sim.Time
+	// Accepted reports whether a Deliver was memorized.
+	Accepted bool
+	// Source marks a layer-0 Fire.
+	Source bool
+}
+
+// Recorder collects events; it implements core.Tracer.
+type Recorder struct {
+	Events []Event
+}
+
+var _ core.Tracer = (*Recorder)(nil)
+
+// Send implements core.Tracer.
+func (r *Recorder) Send(from, to int, at, arrival sim.Time) {
+	r.Events = append(r.Events, Event{Kind: KindSend, At: at, Node: from, Peer: to, Arrival: arrival})
+}
+
+// Deliver implements core.Tracer.
+func (r *Recorder) Deliver(from, to int, at sim.Time, accepted bool) {
+	r.Events = append(r.Events, Event{Kind: KindDeliver, At: at, Node: to, Peer: from, Accepted: accepted})
+}
+
+// FlagExpire implements core.Tracer.
+func (r *Recorder) FlagExpire(node, input int, at sim.Time) {
+	r.Events = append(r.Events, Event{Kind: KindFlagExpire, At: at, Node: node, Peer: input})
+}
+
+// Fire implements core.Tracer.
+func (r *Recorder) Fire(node int, at sim.Time, source bool) {
+	r.Events = append(r.Events, Event{Kind: KindFire, At: at, Node: node, Source: source})
+}
+
+// Sleep implements core.Tracer.
+func (r *Recorder) Sleep(node int, at sim.Time) {
+	r.Events = append(r.Events, Event{Kind: KindSleep, At: at, Node: node})
+}
+
+// Wake implements core.Tracer.
+func (r *Recorder) Wake(node int, at sim.Time) {
+	r.Events = append(r.Events, Event{Kind: KindWake, At: at, Node: node})
+}
+
+// Count returns the number of events of the given kind.
+func (r *Recorder) Count(k Kind) int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

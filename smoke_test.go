@@ -1,0 +1,32 @@
+package hex
+
+import "testing"
+
+// TestSmokeSinglePulse is a coarse end-to-end sanity check: one pulse on
+// the paper's grid must trigger every node exactly once with small skews.
+func TestSmokeSinglePulse(t *testing.T) {
+	g, err := NewGrid(50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunPulse(PulseConfig{Grid: g, Scenario: ScenarioZero, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Wave.AllForwardersTriggered() {
+		t.Fatal("not all forwarding nodes triggered")
+	}
+	for n, ts := range rep.Result.Triggers {
+		if len(ts) != 1 {
+			t.Fatalf("node %d triggered %d times, want 1", n, len(ts))
+		}
+	}
+	t.Logf("intra: %v", rep.IntraSummary)
+	t.Logf("inter: %v", rep.InterSummary)
+	if rep.IntraSummary.Max > 25 {
+		t.Errorf("intra max %.3f ns implausibly large", rep.IntraSummary.Max)
+	}
+	if rep.InterSummary.Min < PaperBounds.Min.Nanoseconds()-0.001 {
+		t.Errorf("inter min %.3f below d− %.3f", rep.InterSummary.Min, PaperBounds.Min.Nanoseconds())
+	}
+}
