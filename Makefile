@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt repro examples clean
+.PHONY: all build test test-short race bench vet fmt repro examples clean
 
 all: build test
 
@@ -18,9 +18,15 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+race:
+	$(GO) test -race -short ./...
+
 vet:
 	$(GO) vet ./...
-	gofmt -l .
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,85 @@
+// Command hexd serves HEX simulations over HTTP: a bounded worker pool
+// with admission control, a deterministic result cache with in-flight
+// deduplication, per-request deadlines, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	hexd -addr :8080 -workers 8 -queue 32 -cache 512 -timeout 30s
+//
+// Endpoints:
+//
+//	POST /v1/run   {"l":50,"w":20,"scenario":"iii","faults":2,"seed":7}
+//	POST /v1/spec  {"l":50,"w":20,"scenario":"ramp","runs":250}
+//	GET  /healthz
+//	GET  /metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
+		cacheSize   = flag.Int("cache", 512, "result cache entries (negative disables)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "clamp for per-request deadlines")
+		maxNodes    = flag.Int("max-nodes", 250000, "largest admissible grid, in nodes")
+		maxRuns     = flag.Int("max-runs", 2000, "largest admissible runs count per /v1/spec")
+		drainwindow = flag.Duration("drain", 30*time.Second, "graceful shutdown window")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxNodes:       *maxNodes,
+		MaxRuns:        *maxRuns,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	opts := svc.Options()
+	log.Printf("hexd: listening on %s (workers=%d queue=%d cache=%d)",
+		*addr, opts.Workers, opts.QueueDepth, opts.CacheEntries)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("hexd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting connections, let in-flight requests (and the
+	// jobs they wait on) finish within the window, then stop the workers.
+	log.Printf("hexd: draining (up to %v)", *drainwindow)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainwindow)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("hexd: shutdown: %v", err)
+	}
+	svc.Close()
+	log.Printf("hexd: drained, bye")
+}

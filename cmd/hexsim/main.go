@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,8 +34,13 @@ func main() {
 		csv       = flag.Bool("csv", false, "print the wave as CSV (layer,column,time_ns,status) and exit")
 		svg       = flag.Bool("svg", false, "print the wave as an SVG heat map and exit")
 		plus      = flag.Bool("plus", false, "use the HEX+ augmented topology (Section 5)")
+		timeout   = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = none)")
 	)
 	flag.Parse()
+
+	if *csv && *svg {
+		fail(fmt.Errorf("-csv and -svg are mutually exclusive; pass at most one output format"))
+	}
 
 	sc, err := source.Parse(*scenario)
 	if err != nil {
@@ -65,7 +71,13 @@ func main() {
 		fmt.Printf("faulty nodes (%s): %s\n", behavior, render.Mark(g, placed))
 	}
 
-	rep, err := hex.RunPulse(hex.PulseConfig{Grid: g, Scenario: sc, Faults: plan, Seed: *seed})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := hex.RunPulse(hex.PulseConfig{Grid: g, Scenario: sc, Faults: plan, Seed: *seed, Context: ctx})
 	if err != nil {
 		fail(err)
 	}

@@ -20,6 +20,7 @@
 package hex
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/analysis"
@@ -147,6 +148,9 @@ type PulseConfig struct {
 	Faults *FaultPlan
 	// Seed drives all randomness.
 	Seed uint64
+	// Context, if non-nil, cancels the simulation: once it is done the
+	// engine stops early and RunPulse returns the context's error.
+	Context context.Context
 }
 
 // PulseReport is the outcome of RunPulse.
@@ -189,6 +193,7 @@ func RunPulse(cfg PulseConfig) (*PulseReport, error) {
 		Faults:   cfg.Faults,
 		Schedule: source.SinglePulse(offsets),
 		Seed:     cfg.Seed,
+		Context:  cfg.Context,
 	})
 	if err != nil {
 		return nil, err

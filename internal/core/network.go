@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/delay"
@@ -35,6 +36,13 @@ type Config struct {
 	// Horizon stops the simulation; 0 derives a horizon that lets the last
 	// pulse traverse the grid with ample slack.
 	Horizon sim.Time
+	// Context, if non-nil, makes the run cancellable: the engine polls it
+	// every few hundred events and stops early once the context is done.
+	// Run then returns the partial Result (triggers and event counts up to
+	// the stop point) together with the context's error, so callers can
+	// still observe how much work was done. A run that completes before
+	// cancellation is bit-identical to one without a Context.
+	Context context.Context
 	// OnTrigger, if non-nil, observes every trigger of a correct node.
 	OnTrigger func(node int, t sim.Time)
 	// Trace, if non-nil, observes all internal events (sends, deliveries,
@@ -138,17 +146,27 @@ func Run(cfg Config) (*Result, error) {
 		rngInit:  sim.NewRNG(sim.DeriveSeed(cfg.Seed, "init")),
 	}
 	nw.eng.SetDispatcher(nw)
+	if ctx := cfg.Context; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return &Result{Triggers: make([][]sim.Time, cfg.Graph.NumNodes())}, err
+		}
+		nw.eng.SetStopCheck(0, func() bool { return ctx.Err() != nil })
+	}
 	nw.build()
 	horizon := cfg.Horizon
 	if horizon == 0 {
 		horizon = nw.autoHorizon()
 	}
 	nw.eng.Run(horizon)
-	return &Result{
+	res := &Result{
 		Triggers: nw.triggers,
 		Events:   nw.eng.Executed,
 		Horizon:  horizon,
-	}, nil
+	}
+	if nw.eng.Interrupted() {
+		return res, cfg.Context.Err()
+	}
+	return res, nil
 }
 
 // autoHorizon derives a stop time covering the last pulse's full traversal,

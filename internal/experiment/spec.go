@@ -8,6 +8,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -102,15 +103,21 @@ func (s Spec) buildGrid() (*grid.Hex, error) {
 
 // RunOne executes run number idx of the spec.
 func RunOne(s Spec, idx int) (*RunOut, error) {
+	return RunOneCtx(context.Background(), s, idx)
+}
+
+// RunOneCtx is RunOne with cancellation: once ctx is done the underlying
+// simulation stops early and the context's error is returned.
+func RunOneCtx(ctx context.Context, s Spec, idx int) (*RunOut, error) {
 	s = s.WithDefaults()
 	h, err := s.buildGrid()
 	if err != nil {
 		return nil, err
 	}
-	return runOnGrid(s, h, idx)
+	return runOnGrid(ctx, s, h, idx)
 }
 
-func runOnGrid(s Spec, h *grid.Hex, idx int) (*RunOut, error) {
+func runOnGrid(ctx context.Context, s Spec, h *grid.Hex, idx int) (*RunOut, error) {
 	seed := s.runSeed(idx)
 	offsets := source.Offsets(s.Scenario, s.W, s.Bounds,
 		sim.NewRNG(sim.DeriveSeed(seed, "offsets")))
@@ -137,6 +144,7 @@ func runOnGrid(s Spec, h *grid.Hex, idx int) (*RunOut, error) {
 		Faults:   plan,
 		Schedule: source.SinglePulse(offsets),
 		Seed:     seed,
+		Context:  ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -152,18 +160,28 @@ func runOnGrid(s Spec, h *grid.Hex, idx int) (*RunOut, error) {
 // RunMany executes all runs of the spec across a worker pool and returns
 // them in run-index order.
 func RunMany(s Spec) ([]*RunOut, error) {
+	return RunManyCtx(context.Background(), s)
+}
+
+// RunManyCtx is RunMany with cancellation: once ctx is done, no further
+// runs start, in-flight simulations stop early, and the context's error
+// is returned.
+func RunManyCtx(ctx context.Context, s Spec) ([]*RunOut, error) {
 	s = s.WithDefaults()
 	outs := make([]*RunOut, s.Runs)
 	errs := make([]error, s.Runs)
-	parallelFor(s.Runs, func(idx int) {
+	parallelFor(ctx, s.Runs, func(idx int) {
 		// Each run builds its own grid so runs share no mutable state.
 		h, err := s.buildGrid()
 		if err != nil {
 			errs[idx] = err
 			return
 		}
-		outs[idx], errs[idx] = runOnGrid(s, h, idx)
+		outs[idx], errs[idx] = runOnGrid(ctx, s, h, idx)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -172,14 +190,18 @@ func RunMany(s Spec) ([]*RunOut, error) {
 	return outs, nil
 }
 
-// parallelFor runs body(0..n-1) across min(GOMAXPROCS, n) workers.
-func parallelFor(n int, body func(idx int)) {
+// parallelFor runs body(0..n-1) across min(GOMAXPROCS, n) workers,
+// dispatching no new indices once ctx is done.
+func parallelFor(ctx context.Context, n int, body func(idx int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			body(i)
 		}
 		return
@@ -196,6 +218,9 @@ func parallelFor(n int, body func(idx int)) {
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		next <- i
 	}
 	close(next)

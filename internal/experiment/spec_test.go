@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
@@ -97,7 +98,7 @@ func TestRunManyWithFaults(t *testing.T) {
 func TestParallelFor(t *testing.T) {
 	var count int64
 	seen := make([]bool, 100)
-	parallelFor(100, func(i int) {
+	parallelFor(context.Background(), 100, func(i int) {
 		atomic.AddInt64(&count, 1)
 		seen[i] = true
 	})
@@ -111,11 +112,11 @@ func TestParallelFor(t *testing.T) {
 	}
 	// n smaller than worker count.
 	ran := 0
-	parallelFor(1, func(int) { ran++ })
+	parallelFor(context.Background(), 1, func(int) { ran++ })
 	if ran != 1 {
 		t.Error("single-item parallelFor broken")
 	}
-	parallelFor(0, func(int) { t.Error("body called for n=0") })
+	parallelFor(context.Background(), 0, func(int) { t.Error("body called for n=0") })
 }
 
 func TestCollectSkewsHops(t *testing.T) {

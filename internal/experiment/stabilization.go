@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -139,7 +140,7 @@ func StabRunMany(s StabSpec) ([]*StabOut, error) {
 	s = s.WithDefaults()
 	outs := make([]*StabOut, s.Runs)
 	errs := make([]error, s.Runs)
-	parallelFor(s.Runs, func(idx int) {
+	parallelFor(context.Background(), s.Runs, func(idx int) {
 		outs[idx], errs[idx] = StabRunOne(s, idx)
 	})
 	for _, err := range errs {

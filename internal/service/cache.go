@@ -1,0 +1,78 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cached is a finished, serialized response body ready to replay to any
+// request with the same canonical key.
+type cached struct {
+	body        []byte
+	contentType string
+	// events is the simulation event count behind this entry, replayed
+	// into responses so cached answers stay indistinguishable from fresh
+	// ones.
+	events uint64
+}
+
+// lruCache is a mutex-guarded LRU over canonical request keys. Simulation
+// results are deterministic functions of their canonical request, so
+// entries never expire — they are only evicted by capacity.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *lruEntry
+	entries map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val *cached
+}
+
+// newLRUCache returns a cache bounded to cap entries; cap <= 0 disables
+// caching entirely (every Get misses, Put is a no-op).
+func newLRUCache(cap int) *lruCache {
+	return &lruCache{cap: cap, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// Get returns the entry for key, marking it most recently used.
+func (c *lruCache) Get(key string) (*cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes an entry, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache) Put(key string, val *cached) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for len(c.entries) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; simulation requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/run   — one single-pulse simulation (stats JSON, CSV, or SVG)
+//	POST /v1/spec  — a multi-run experiment.Spec, aggregate skew statistics
+//	GET  /healthz  — liveness (503 while draining)
+//	GET  /metrics  — Prometheus-style text metrics
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/spec", s.handleSpec)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// errorResponse is the JSON body of every non-2xx API response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// decodeJSON strictly decodes the request body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
+
+// serve runs the shared request pipeline: canonicalize → deadline →
+// cache/dedup/queue → error mapping → body replay.
+func (s *Service) serve(w http.ResponseWriter, r *http.Request, endpoint string,
+	timeoutMs int64, key string, compute func(context.Context) (*cached, error)) {
+	start := time.Now()
+	defer func() { s.Metrics.Latency[endpoint].ObserveDuration(time.Since(start)) }()
+
+	ctx, cancel := context.WithTimeout(r.Context(), requestTimeout(timeoutMs, s.opts))
+	defer cancel()
+	val, err := s.result(ctx, key, compute)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", val.contentType)
+	w.Header().Set("X-Hexd-Events", fmt.Sprintf("%d", val.events))
+	w.Write(val.body)
+}
+
+// writeError maps pipeline errors to HTTP statuses.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
+	var bad errBadRequest
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusTooManyRequests, "queue full; retry later")
+	case errors.Is(err, ErrShuttingDown):
+		writeJSONError(w, http.StatusServiceUnavailable, "shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.Metrics.DeadlineExceeded.Inc()
+		writeJSONError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for logs only.
+		writeJSONError(w, http.StatusGatewayTimeout, "request cancelled")
+	case errors.As(err, &bad):
+		writeJSONError(w, http.StatusBadRequest, bad.Error())
+	default:
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.Metrics.Requests["run"].Inc()
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req RunRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.normalize(s.opts); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serve(w, r, "run", req.TimeoutMs, req.key(),
+		func(ctx context.Context) (*cached, error) { return s.computeRun(ctx, req) })
+}
+
+func (s *Service) handleSpec(w http.ResponseWriter, r *http.Request) {
+	s.Metrics.Requests["spec"].Inc()
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SpecRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.normalize(s.opts); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serve(w, r, "spec", req.TimeoutMs, req.key(),
+		func(ctx context.Context) (*cached, error) { return s.computeSpec(ctx, req) })
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Closed() {
+		writeJSONError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","queue_depth":%d,"in_flight":%d}`+"\n",
+		s.Metrics.QueueDepth.Value(), s.Metrics.InFlight.Value())
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.Metrics.WriteText(w)
+}

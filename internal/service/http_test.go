@@ -1,0 +1,189 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	s := New(opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestHandlerValidation drives the handlers through malformed and
+// out-of-policy requests.
+func TestHandlerValidation(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2, MaxNodes: 5000, MaxRuns: 10})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     string
+		wantCode int
+		wantSub  string // substring of the response body
+	}{
+		{"run bad json", "POST", "/v1/run", `{"l":`, http.StatusBadRequest, "invalid JSON"},
+		{"run unknown field", "POST", "/v1/run", `{"length":50}`, http.StatusBadRequest, "unknown field"},
+		{"run unknown scenario", "POST", "/v1/run", `{"scenario":"v"}`, http.StatusBadRequest, "unknown scenario"},
+		{"run bad output", "POST", "/v1/run", `{"output":"pdf"}`, http.StatusBadRequest, "output must be one of"},
+		{"run bad fault type", "POST", "/v1/run", `{"faults":1,"fault_type":"sleepy"}`, http.StatusBadRequest, "unknown fault type"},
+		{"run grid too large", "POST", "/v1/run", `{"l":1000,"w":100}`, http.StatusBadRequest, "exceeds the limit"},
+		{"run negative dims", "POST", "/v1/run", `{"l":-3,"w":5}`, http.StatusBadRequest, "must be positive"},
+		{"run infeasible faults", "POST", "/v1/run", `{"l":10,"w":8,"faults":50}`, http.StatusBadRequest, ""},
+		{"run wrong method", "GET", "/v1/run", "", http.StatusMethodNotAllowed, "POST only"},
+		{"spec bad json", "POST", "/v1/spec", `no`, http.StatusBadRequest, "invalid JSON"},
+		{"spec too many runs", "POST", "/v1/spec", `{"runs":100}`, http.StatusBadRequest, "runs must be in"},
+		{"spec negative hops", "POST", "/v1/spec", `{"runs":2,"exclude_hops":-1}`, http.StatusBadRequest, "exclude_hops"},
+		{"spec wrong method", "GET", "/v1/spec", "", http.StatusMethodNotAllowed, "POST only"},
+		{"run ok small", "POST", "/v1/run", `{"l":5,"w":8,"seed":3}`, http.StatusOK, `"triggered"`},
+		{"spec ok small", "POST", "/v1/spec", `{"l":5,"w":8,"runs":2}`, http.StatusOK, `"intra_skew_ns"`},
+		{"run csv", "POST", "/v1/run", `{"l":5,"w":8,"output":"csv"}`, http.StatusOK, "layer,"},
+		{"run svg", "POST", "/v1/run", `{"l":5,"w":8,"output":"svg"}`, http.StatusOK, "<svg"},
+	}
+	client := srv.Client()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body := readAll(t, resp)
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status = %d, want %d (body %q)", resp.StatusCode, tc.wantCode, body)
+			}
+			if tc.wantSub != "" && !strings.Contains(body, tc.wantSub) {
+				t.Fatalf("body %q does not contain %q", body, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestHealthzAndMetrics checks the observability endpoints round-trip.
+func TestHealthzAndMetrics(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil || health.Status != "ok" {
+		t.Fatalf("healthz body: %v, %v", health, err)
+	}
+
+	doRun(t, srv, `{"l":5,"w":8}`, http.StatusOK)
+	mresp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics := readAll(t, mresp)
+	for _, want := range []string{
+		`hexd_requests_total{endpoint="run"} 1`,
+		"hexd_sim_runs_total 1",
+		"hexd_cache_misses_total 1",
+		"hexd_request_seconds_count",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestCacheHitServesStoredBody verifies that an identical request replays
+// the cached body without a second simulation.
+func TestCacheHitServesStoredBody(t *testing.T) {
+	s := newTestService(t, Options{Workers: 2})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	first := doRun(t, srv, `{"l":6,"w":8,"seed":9}`, http.StatusOK)
+	// A scenario alias must canonicalize onto the same key.
+	second := doRun(t, srv, `{"l":6,"w":8,"seed":9,"scenario":"i"}`, http.StatusOK)
+	if first != second {
+		t.Fatalf("cached body differs:\n%s\nvs\n%s", first, second)
+	}
+	if got := s.Metrics.SimRuns.Value(); got != 1 {
+		t.Fatalf("sim runs = %d, want 1", got)
+	}
+	if got := s.Metrics.CacheHits.Value(); got != 1 {
+		t.Fatalf("cache hits = %d, want 1", got)
+	}
+}
+
+// TestQueueFullRejects fills the workers and the queue with blocker jobs
+// and checks that the next request is shed with 429 + Retry-After.
+func TestQueueFullRejects(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1, QueueDepth: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// One blocker occupies the single worker, one fills the queue slot.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s.jobs <- func() { close(started); <-release }
+	<-started
+	s.jobs <- func() {}
+	defer close(release)
+
+	resp, err := srv.Client().Post(srv.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"l":5,"w":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if got := s.Metrics.QueueRejects.Value(); got != 1 {
+		t.Fatalf("queue rejects = %d, want 1", got)
+	}
+}
+
+func doRun(t *testing.T, srv *httptest.Server, body string, wantCode int) string {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b := readAll(t, resp)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("status = %d, want %d (body %q)", resp.StatusCode, wantCode, b)
+	}
+	return b
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value, safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by a delta.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed cumulative buckets, plus a
+// running sum and count, in the style of a Prometheus histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, strictly increasing
+	counts []uint64  // per-bucket (non-cumulative); len(bounds)+1 with +Inf
+	sum    float64
+	count  uint64
+}
+
+// newHistogram returns a histogram over the given upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// defLatencyBounds covers 100µs .. ~100s in roughly 4x steps, in seconds.
+var defLatencyBounds = []float64{0.0001, 0.0005, 0.002, 0.01, 0.05, 0.25, 1, 5, 25, 100}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Metrics is the service's metric registry. All fields are safe for
+// concurrent use; the zero value is not usable, construct with NewMetrics.
+type Metrics struct {
+	// Requests counts HTTP requests per endpoint.
+	Requests map[string]*Counter
+	// Latency tracks per-endpoint request latency in seconds.
+	Latency map[string]*Histogram
+	// CacheHits / CacheMisses count result-cache lookups.
+	CacheHits, CacheMisses *Counter
+	// DedupJoins counts requests coalesced onto an in-flight computation.
+	DedupJoins *Counter
+	// QueueRejects counts submissions rejected because the queue was full.
+	QueueRejects *Counter
+	// DeadlineExceeded counts requests that missed their deadline.
+	DeadlineExceeded *Counter
+	// SimRuns counts simulations actually executed (post-cache, post-dedup).
+	SimRuns *Counter
+	// SimEvents accumulates sim.Engine.Executed over all runs, including
+	// the partial event counts of cancelled runs.
+	SimEvents *Counter
+	// QueueDepth and InFlight are instantaneous occupancy gauges.
+	QueueDepth, InFlight *Gauge
+
+	endpoints []string
+}
+
+// NewMetrics returns an empty registry for the given endpoint labels.
+func NewMetrics(endpoints ...string) *Metrics {
+	m := &Metrics{
+		Requests:         make(map[string]*Counter, len(endpoints)),
+		Latency:          make(map[string]*Histogram, len(endpoints)),
+		CacheHits:        &Counter{},
+		CacheMisses:      &Counter{},
+		DedupJoins:       &Counter{},
+		QueueRejects:     &Counter{},
+		DeadlineExceeded: &Counter{},
+		SimRuns:          &Counter{},
+		SimEvents:        &Counter{},
+		QueueDepth:       &Gauge{},
+		InFlight:         &Gauge{},
+		endpoints:        append([]string(nil), endpoints...),
+	}
+	sort.Strings(m.endpoints)
+	for _, ep := range m.endpoints {
+		m.Requests[ep] = &Counter{}
+		m.Latency[ep] = newHistogram(defLatencyBounds)
+	}
+	return m
+}
+
+// WriteText renders the registry in the Prometheus text exposition format.
+func (m *Metrics) WriteText(w io.Writer) {
+	for _, ep := range m.endpoints {
+		fmt.Fprintf(w, "hexd_requests_total{endpoint=%q} %d\n", ep, m.Requests[ep].Value())
+	}
+	fmt.Fprintf(w, "hexd_cache_hits_total %d\n", m.CacheHits.Value())
+	fmt.Fprintf(w, "hexd_cache_misses_total %d\n", m.CacheMisses.Value())
+	fmt.Fprintf(w, "hexd_dedup_joins_total %d\n", m.DedupJoins.Value())
+	fmt.Fprintf(w, "hexd_queue_rejects_total %d\n", m.QueueRejects.Value())
+	fmt.Fprintf(w, "hexd_deadline_exceeded_total %d\n", m.DeadlineExceeded.Value())
+	fmt.Fprintf(w, "hexd_sim_runs_total %d\n", m.SimRuns.Value())
+	fmt.Fprintf(w, "hexd_sim_events_total %d\n", m.SimEvents.Value())
+	fmt.Fprintf(w, "hexd_queue_depth %d\n", m.QueueDepth.Value())
+	fmt.Fprintf(w, "hexd_in_flight %d\n", m.InFlight.Value())
+	for _, ep := range m.endpoints {
+		h := m.Latency[ep]
+		h.mu.Lock()
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "hexd_request_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, trimFloat(b), cum)
+		}
+		cum += h.counts[len(h.bounds)]
+		fmt.Fprintf(w, "hexd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "hexd_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "hexd_request_seconds_count{endpoint=%q} %d\n", ep, h.count)
+		h.mu.Unlock()
+	}
+}
+
+// trimFloat formats a bucket bound without trailing zeros.
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,384 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/experiment"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/render"
+	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/stats"
+)
+
+// RunRequest is the body of POST /v1/run: one single-pulse simulation.
+type RunRequest struct {
+	// L, W are the grid dimensions (defaults 50, 20).
+	L int `json:"l,omitempty"`
+	W int `json:"w,omitempty"`
+	// Scenario is a layer-0 skew scenario name accepted by source.Parse
+	// ("zero"/"i", "udminus"/"ii", "udplus"/"iii", "ramp"/"iv"; default
+	// "zero"). Aliases canonicalize to the same cache key.
+	Scenario string `json:"scenario,omitempty"`
+	// Faults places this many random faulty nodes under Condition 1.
+	Faults int `json:"faults,omitempty"`
+	// FaultType is "byzantine" (default when Faults > 0) or "fail-silent".
+	FaultType string `json:"fault_type,omitempty"`
+	// Seed drives all randomness (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// HexPlus selects the Section 5 augmented topology.
+	HexPlus bool `json:"hex_plus,omitempty"`
+	// Output is "stats" (JSON, default), "csv" (wave CSV), or "svg"
+	// (wave heat map).
+	Output string `json:"output,omitempty"`
+	// TimeoutMs is the per-request deadline in milliseconds; 0 uses the
+	// server default, larger values are clamped to the server maximum.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+
+	// Resolved by normalize; excluded from JSON and from the cache key
+	// string (the parsed values are what the key uses).
+	scenario source.Scenario `json:"-"`
+	behavior fault.Behavior  `json:"-"`
+}
+
+// normalize fills defaults and parses enum fields; it must be called
+// before key or compute.
+func (r *RunRequest) normalize(opts Options) error {
+	if r.L == 0 {
+		r.L = 50
+	}
+	if r.W == 0 {
+		r.W = 20
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Output == "" {
+		r.Output = "stats"
+	}
+	if r.Output != "stats" && r.Output != "csv" && r.Output != "svg" {
+		return fmt.Errorf("output must be one of stats, csv, svg; got %q", r.Output)
+	}
+	sc, err := source.Parse(orDefault(r.Scenario, "zero"))
+	if err != nil {
+		return err
+	}
+	r.scenario = sc
+	r.Scenario = sc.Name()
+	r.behavior, err = parseBehavior(r.FaultType, r.Faults)
+	if err != nil {
+		return err
+	}
+	r.FaultType = r.behavior.String()
+	return validateGridDims(r.L, r.W, r.Faults, opts)
+}
+
+// key returns the canonical cache key. Requests that differ only in
+// deadline share a key; requests that differ in output format do not
+// (they cache different serialized bodies).
+func (r *RunRequest) key() string {
+	return cacheKey("run", fmt.Sprintf("L=%d|W=%d|sc=%d|f=%d|ft=%d|seed=%d|plus=%t|out=%s",
+		r.L, r.W, int(r.scenario), r.Faults, int(r.behavior), r.Seed, r.HexPlus, r.Output))
+}
+
+// timeout resolves the effective deadline for a request.
+func requestTimeout(ms int64, opts Options) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = opts.DefaultTimeout
+	}
+	if d > opts.MaxTimeout {
+		d = opts.MaxTimeout
+	}
+	return d
+}
+
+// RunResponse is the JSON body of a successful stats-output /v1/run.
+type RunResponse struct {
+	L           int         `json:"l"`
+	W           int         `json:"w"`
+	Scenario    string      `json:"scenario"`
+	Faults      int         `json:"faults"`
+	FaultType   string      `json:"fault_type,omitempty"`
+	Seed        uint64      `json:"seed"`
+	HexPlus     bool        `json:"hex_plus,omitempty"`
+	FaultyNodes []int       `json:"faulty_nodes,omitempty"`
+	Triggered   int         `json:"triggered"`
+	Events      uint64      `json:"events"`
+	HorizonNs   float64     `json:"horizon_ns"`
+	IntraSkewNs SummaryJSON `json:"intra_skew_ns"`
+	InterSkewNs SummaryJSON `json:"inter_skew_ns"`
+}
+
+// SummaryJSON mirrors stats.Summary for serialization.
+type SummaryJSON struct {
+	Min float64 `json:"min"`
+	Q5  float64 `json:"q5"`
+	Avg float64 `json:"avg"`
+	Q95 float64 `json:"q95"`
+	Max float64 `json:"max"`
+	N   int     `json:"n"`
+}
+
+func summaryJSON(s stats.Summary) SummaryJSON {
+	return SummaryJSON{Min: s.Min, Q5: s.Q5, Avg: s.Avg, Q95: s.Q95, Max: s.Max, N: s.N}
+}
+
+// computeRun executes one single-pulse simulation. Cancelled runs still
+// report their partial event counts to the metrics registry before the
+// error propagates.
+func (s *Service) computeRun(ctx context.Context, r RunRequest) (*cached, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	h, err := buildGrid(r.L, r.W, r.HexPlus)
+	if err != nil {
+		return nil, errBadRequest{err}
+	}
+	plan := fault.NewPlan(h.NumNodes())
+	var placed []int
+	if r.Faults > 0 {
+		rngF := sim.NewRNG(sim.DeriveSeed(r.Seed, "faults"))
+		placed, err = fault.PlaceRandom(h.Graph, r.Faults, nil, rngF, 0)
+		if err != nil {
+			return nil, errBadRequest{err}
+		}
+		for _, n := range placed {
+			plan.SetBehavior(n, r.behavior)
+		}
+		if r.behavior == fault.Byzantine {
+			plan.RandomizeByzantine(h.Graph, rngF)
+		}
+	}
+	params := core.DefaultParams()
+	offsets := source.Offsets(r.scenario, r.W, params.Bounds,
+		sim.NewRNG(sim.DeriveSeed(r.Seed, "offsets")))
+	res, err := core.Run(core.Config{
+		Graph:    h.Graph,
+		Params:   params,
+		Delay:    delay.Uniform{Bounds: params.Bounds},
+		Faults:   plan,
+		Schedule: source.SinglePulse(offsets),
+		Seed:     r.Seed,
+		Context:  ctx,
+	})
+	s.Metrics.SimRuns.Inc()
+	if res != nil {
+		s.Metrics.SimEvents.Add(res.Events)
+	}
+	if err != nil {
+		return nil, err
+	}
+	wave := analysis.WaveFromResult(h.Graph, res, plan, 0)
+	switch r.Output {
+	case "csv":
+		return &cached{body: []byte(render.WaveCSV(wave, h)),
+			contentType: "text/csv; charset=utf-8", events: res.Events}, nil
+	case "svg":
+		return &cached{body: []byte(render.WaveSVG(wave, h, 10)),
+			contentType: "image/svg+xml", events: res.Events}, nil
+	}
+	resp := RunResponse{
+		L: r.L, W: r.W, Scenario: r.Scenario, Faults: r.Faults,
+		Seed: r.Seed, HexPlus: r.HexPlus,
+		FaultyNodes: placed,
+		Triggered:   wave.TriggeredCount(),
+		Events:      res.Events,
+		HorizonNs:   res.Horizon.Nanoseconds(),
+		IntraSkewNs: summaryJSON(stats.Summarize(wave.IntraSkews())),
+		InterSkewNs: summaryJSON(stats.Summarize(wave.InterSkews())),
+	}
+	if r.Faults > 0 {
+		resp.FaultType = r.FaultType
+	}
+	return marshalCached(resp, res.Events)
+}
+
+// SpecRequest is the body of POST /v1/spec: a multi-run experiment in the
+// shape of experiment.Spec, answered with aggregate skew statistics.
+type SpecRequest struct {
+	L         int    `json:"l,omitempty"`
+	W         int    `json:"w,omitempty"`
+	Scenario  string `json:"scenario,omitempty"`
+	Faults    int    `json:"faults,omitempty"`
+	FaultType string `json:"fault_type,omitempty"`
+	// Runs is the number of independent runs (default 250).
+	Runs int    `json:"runs,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
+	// HexPlus selects the Section 5 augmented topology.
+	HexPlus bool `json:"hex_plus,omitempty"`
+	// ExcludeHops excludes the h-hop neighborhoods of faulty nodes from
+	// the statistics, as in the paper's fault-local tables.
+	ExcludeHops int   `json:"exclude_hops,omitempty"`
+	TimeoutMs   int64 `json:"timeout_ms,omitempty"`
+
+	scenario source.Scenario `json:"-"`
+	behavior fault.Behavior  `json:"-"`
+}
+
+// normalize fills defaults, parses enums, and enforces limits.
+func (r *SpecRequest) normalize(opts Options) error {
+	if r.L == 0 {
+		r.L = 50
+	}
+	if r.W == 0 {
+		r.W = 20
+	}
+	if r.Runs == 0 {
+		r.Runs = 250
+	}
+	if r.Runs < 0 || r.Runs > opts.MaxRuns {
+		return fmt.Errorf("runs must be in [1, %d]; got %d", opts.MaxRuns, r.Runs)
+	}
+	if r.ExcludeHops < 0 {
+		return fmt.Errorf("exclude_hops must be >= 0; got %d", r.ExcludeHops)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	sc, err := source.Parse(orDefault(r.Scenario, "zero"))
+	if err != nil {
+		return err
+	}
+	r.scenario = sc
+	r.Scenario = sc.Name()
+	r.behavior, err = parseBehavior(r.FaultType, r.Faults)
+	if err != nil {
+		return err
+	}
+	r.FaultType = r.behavior.String()
+	return validateGridDims(r.L, r.W, r.Faults, opts)
+}
+
+// key returns the canonical cache key of the spec request.
+func (r *SpecRequest) key() string {
+	return cacheKey("spec", fmt.Sprintf("L=%d|W=%d|sc=%d|f=%d|ft=%d|runs=%d|seed=%d|plus=%t|hops=%d",
+		r.L, r.W, int(r.scenario), r.Faults, int(r.behavior), r.Runs, r.Seed, r.HexPlus, r.ExcludeHops))
+}
+
+// SpecResponse is the JSON body of a successful /v1/spec.
+type SpecResponse struct {
+	L           int         `json:"l"`
+	W           int         `json:"w"`
+	Scenario    string      `json:"scenario"`
+	Faults      int         `json:"faults"`
+	FaultType   string      `json:"fault_type,omitempty"`
+	Runs        int         `json:"runs"`
+	Seed        uint64      `json:"seed"`
+	HexPlus     bool        `json:"hex_plus,omitempty"`
+	ExcludeHops int         `json:"exclude_hops,omitempty"`
+	Events      uint64      `json:"events"`
+	IntraSkewNs SummaryJSON `json:"intra_skew_ns"`
+	InterSkewNs SummaryJSON `json:"inter_skew_ns"`
+}
+
+// computeSpec executes all runs of the spec on the caller's context.
+func (s *Service) computeSpec(ctx context.Context, r SpecRequest) (*cached, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spec := experiment.Spec{
+		L: r.L, W: r.W,
+		Scenario:  r.scenario,
+		Faults:    r.Faults,
+		FaultType: r.behavior,
+		Runs:      r.Runs,
+		Seed:      r.Seed,
+		HexPlus:   r.HexPlus,
+	}
+	outs, err := experiment.RunManyCtx(ctx, spec)
+	s.Metrics.SimRuns.Add(uint64(len(outs)))
+	if err != nil {
+		return nil, err
+	}
+	var events uint64
+	for _, o := range outs {
+		events += o.Res.Events
+	}
+	s.Metrics.SimEvents.Add(events)
+	intra, inter := experiment.CollectSkews(outs, r.ExcludeHops)
+	resp := SpecResponse{
+		L: r.L, W: r.W, Scenario: r.Scenario, Faults: r.Faults,
+		Runs: r.Runs, Seed: r.Seed, HexPlus: r.HexPlus, ExcludeHops: r.ExcludeHops,
+		Events:      events,
+		IntraSkewNs: summaryJSON(stats.Summarize(intra)),
+		InterSkewNs: summaryJSON(stats.Summarize(inter)),
+	}
+	if r.Faults > 0 {
+		resp.FaultType = r.FaultType
+	}
+	return marshalCached(resp, events)
+}
+
+// buildGrid constructs the requested topology.
+func buildGrid(l, w int, plus bool) (*grid.Hex, error) {
+	if plus {
+		return grid.NewHexPlus(l, w)
+	}
+	return grid.NewHex(l, w)
+}
+
+// validateGridDims enforces the service-level admission limits.
+func validateGridDims(l, w, faults int, opts Options) error {
+	if l < 1 || w < 1 {
+		return fmt.Errorf("grid dimensions must be positive; got L=%d W=%d", l, w)
+	}
+	if nodes := (l + 1) * w; nodes > opts.MaxNodes {
+		return fmt.Errorf("grid of %d nodes exceeds the limit of %d", nodes, opts.MaxNodes)
+	}
+	if faults < 0 {
+		return fmt.Errorf("faults must be >= 0; got %d", faults)
+	}
+	return nil
+}
+
+// parseBehavior maps a request's fault_type string to a fault.Behavior,
+// defaulting to Byzantine when faults are requested.
+func parseBehavior(name string, faults int) (fault.Behavior, error) {
+	switch name {
+	case "":
+		if faults > 0 {
+			return fault.Byzantine, nil
+		}
+		return fault.Correct, nil
+	case "byzantine":
+		return fault.Byzantine, nil
+	case "fail-silent", "failsilent", "crash":
+		return fault.FailSilent, nil
+	}
+	return 0, fmt.Errorf("unknown fault type %q (want byzantine or fail-silent)", name)
+}
+
+// cacheKey hashes a canonical field string into a stable hex key.
+func cacheKey(kind, fields string) string {
+	sum := sha256.Sum256([]byte(kind + "|v1|" + fields))
+	return kind + ":" + hex.EncodeToString(sum[:16])
+}
+
+// marshalCached serializes a JSON response body into a cache entry.
+func marshalCached(v any, events uint64) (*cached, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return &cached{body: buf.Bytes(), contentType: "application/json", events: events}, nil
+}
+
+// orDefault returns s, or def when s is empty.
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

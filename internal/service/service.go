@@ -1,0 +1,223 @@
+// Package service turns the HEX simulator into an embeddable backend: a
+// bounded worker pool with admission control, a deterministic result cache
+// with in-flight request deduplication, per-request deadlines that cancel
+// simulations mid-run, and a metrics registry. cmd/hexd wraps it in an
+// HTTP daemon.
+//
+// Concurrency model: requests are canonicalized into a stable key; a
+// cache hit replays the stored body, a miss either joins an identical
+// in-flight computation or enqueues one job on a channel bounded by
+// QueueDepth. Workers (GOMAXPROCS by default) drain the channel; when it
+// is full, submission fails immediately with ErrQueueFull so the HTTP
+// layer can shed load with 429 instead of accumulating goroutines.
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned when the job queue has no room; callers should
+// retry after backing off (HTTP 429).
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrShuttingDown is returned for submissions after Close has begun.
+var ErrShuttingDown = errors.New("service: shutting down")
+
+// errBadRequest wraps request-dependent failures (infeasible fault count,
+// invalid grid) that map to HTTP 400 rather than 500.
+type errBadRequest struct{ err error }
+
+func (e errBadRequest) Error() string { return e.err.Error() }
+func (e errBadRequest) Unwrap() error { return e.err }
+
+// Options configure a Service. The zero value selects sane defaults.
+type Options struct {
+	// Workers is the number of simulation workers (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 4×Workers). When full, submissions fail with ErrQueueFull.
+	QueueDepth int
+	// CacheEntries bounds the result LRU (default 512); negative disables
+	// caching.
+	CacheEntries int
+	// DefaultTimeout applies when a request carries no deadline
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps per-request deadlines (default 2m).
+	MaxTimeout time.Duration
+	// MaxNodes bounds the grid size (L+1)·W of a request (default 250000).
+	MaxNodes int
+	// MaxRuns bounds the Runs field of a /v1/spec request (default 2000).
+	MaxRuns int
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 512
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 2 * time.Minute
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 250000
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 2000
+	}
+	return o
+}
+
+// flight is one in-progress computation that any number of identical
+// requests may wait on.
+type flight struct {
+	done chan struct{} // closed when val/err are final
+	val  *cached
+	err  error
+}
+
+// Service executes canonicalized simulation requests through a bounded
+// worker pool with caching and deduplication. Construct with New; all
+// methods are safe for concurrent use.
+type Service struct {
+	opts    Options
+	Metrics *Metrics
+	cache   *lruCache
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	closed   bool
+
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+// New starts a Service with opts.Workers worker goroutines.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	s := &Service{
+		opts:     opts,
+		Metrics:  NewMetrics("run", "spec"),
+		cache:    newLRUCache(opts.CacheEntries),
+		inflight: make(map[string]*flight),
+		jobs:     make(chan func(), opts.QueueDepth),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.jobs {
+				s.Metrics.QueueDepth.Set(int64(len(s.jobs)))
+				s.Metrics.InFlight.Add(1)
+				job()
+				s.Metrics.InFlight.Add(-1)
+			}
+		}()
+	}
+	return s
+}
+
+// Options returns the resolved configuration.
+func (s *Service) Options() Options { return s.opts }
+
+// Closed reports whether Close has begun.
+func (s *Service) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close drains the service: no new jobs are accepted, already queued and
+// running jobs finish (their waiters get results), then the workers exit.
+// It is idempotent and safe to call concurrently with requests.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// result returns the response for the canonical key: from the cache, by
+// joining an identical in-flight computation, or by enqueueing compute on
+// the worker pool. compute receives the originating request's context and
+// must honor its cancellation.
+func (s *Service) result(ctx context.Context, key string, compute func(context.Context) (*cached, error)) (*cached, error) {
+	if v, ok := s.cache.Get(key); ok {
+		s.Metrics.CacheHits.Inc()
+		return v, nil
+	}
+	s.Metrics.CacheMisses.Inc()
+
+	s.mu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.Metrics.DedupJoins.Inc()
+		return f.wait(ctx)
+	}
+	// Re-check the cache with the in-flight map locked: a flight that
+	// finished between the fast-path lookup and here published its result
+	// to the cache *before* deregistering, so one of the two checks always
+	// sees it and no identical simulation ever runs twice.
+	if v, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		s.Metrics.CacheHits.Inc()
+		return v, nil
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	f := &flight{done: make(chan struct{})}
+	job := func() {
+		f.val, f.err = compute(ctx)
+		if f.err == nil {
+			s.cache.Put(key, f.val)
+		}
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(f.done)
+	}
+	select {
+	case s.jobs <- job:
+		s.inflight[key] = f
+		s.mu.Unlock()
+		s.Metrics.QueueDepth.Set(int64(len(s.jobs)))
+	default:
+		s.mu.Unlock()
+		s.Metrics.QueueRejects.Inc()
+		return nil, ErrQueueFull
+	}
+	return f.wait(ctx)
+}
+
+// wait blocks until the flight completes or ctx is done, whichever is
+// first. A waiter abandoning a flight does not cancel it for the others;
+// only the originating request's context cancels the computation itself.
+func (f *flight) wait(ctx context.Context) (*cached, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

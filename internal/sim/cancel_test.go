@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+// TestStopCheckInterrupts verifies that the cancel hook stops Run at the
+// requested granularity and marks the run interrupted.
+func TestStopCheckInterrupts(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 1000; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	stop := false
+	e.SetStopCheck(10, func() bool { return stop })
+	e.ScheduleAfter(25, func() { stop = true })
+
+	n := e.RunAll()
+	if !e.Interrupted() {
+		t.Fatal("engine not marked interrupted")
+	}
+	if n >= 1000 {
+		t.Fatalf("executed %d events, expected an early stop", n)
+	}
+	// The hook fires on multiples of 10 processed events, so at most 9
+	// further events run after stop becomes true.
+	if e.Pending() == 0 {
+		t.Fatal("queue drained despite interruption")
+	}
+}
+
+// TestStopCheckNeverFiringIsInvisible verifies a hook that never cancels
+// leaves the execution identical to a hook-free run.
+func TestStopCheckNeverFiringIsInvisible(t *testing.T) {
+	runOrder := func(install bool) []int {
+		e := NewEngine()
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			e.Schedule(Time(i%7), func() { order = append(order, i) })
+		}
+		if install {
+			e.SetStopCheck(1, func() bool { return false })
+		}
+		e.RunAll()
+		return order
+	}
+	a, b := runOrder(false), runOrder(true)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	e := NewEngine()
+	e.Schedule(0, func() {})
+	e.SetStopCheck(1, func() bool { return false })
+	e.RunAll()
+	if e.Interrupted() {
+		t.Fatal("uncancelled run marked interrupted")
+	}
+}

@@ -21,7 +21,10 @@ type Engine struct {
 	seq        uint64
 	queue      eventQueue
 	stopped    bool
+	interrupt  bool
 	dispatcher Dispatcher
+	stopCheck  func() bool
+	stopEvery  uint64
 	// Executed counts events processed, for instrumentation and benchmarks.
 	Executed uint64
 }
@@ -84,13 +87,43 @@ func (e *Engine) ScheduleEventAfter(delay Time, kind uint8, a, b int64) {
 // callback completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetStopCheck installs a cancellation hook: Run polls fn once every
+// `every` executed events (and once before the first event) and stops
+// early when fn returns true. The poll never reorders or drops events
+// before the stop point, so a run that is not cancelled remains
+// bit-identical to one without a hook. every <= 0 selects a default
+// granularity. fn == nil removes the hook.
+func (e *Engine) SetStopCheck(every int, fn func() bool) {
+	if every <= 0 {
+		every = DefaultStopCheckInterval
+	}
+	e.stopCheck = fn
+	e.stopEvery = uint64(every)
+}
+
+// DefaultStopCheckInterval is the event-count granularity of the
+// SetStopCheck poll when none is given: fine enough that an abandoned
+// request stops within microseconds of wall time, coarse enough that the
+// hook is invisible in profiles.
+const DefaultStopCheckInterval = 512
+
+// Interrupted reports whether the most recent Run was ended by the
+// SetStopCheck hook (as opposed to draining, reaching the horizon, or an
+// explicit Stop).
+func (e *Engine) Interrupted() bool { return e.interrupt }
+
 // Run executes events until the queue is empty, the horizon is passed, or
 // Stop is called. Events at exactly the horizon still execute. It returns
 // the number of events executed by this call.
 func (e *Engine) Run(horizon Time) uint64 {
 	e.stopped = false
+	e.interrupt = false
 	var n uint64
 	for e.queue.Len() > 0 && !e.stopped {
+		if e.stopCheck != nil && n%e.stopEvery == 0 && e.stopCheck() {
+			e.interrupt = true
+			break
+		}
 		if e.queue.peekTime() > horizon {
 			break
 		}
