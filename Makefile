@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench vet fmt repro examples clean
+.PHONY: all build test test-short race bench bench-json vet fmt repro examples clean
 
 all: build test
 
@@ -17,6 +17,11 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Re-record the committed performance baseline from the two core benchmarks.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkPulsePropagation$$|BenchmarkMultiPulseStabilization$$' \
+		-benchmem -count=6 . | $(GO) run ./cmd/benchjson -out BENCH_2.json
 
 race:
 	$(GO) test -race -short ./...

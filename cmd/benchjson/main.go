@@ -1,0 +1,160 @@
+// Command benchjson converts `go test -bench` text output into a stable,
+// diff-friendly JSON document so benchmark baselines can be committed and
+// compared across PRs without external tooling.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 5 . | benchjson -out BENCH.json
+//
+// Repeated samples of the same benchmark (from -count) are aggregated into
+// mean/min/max per metric unit, which is what a baseline comparison needs;
+// the raw sample values are preserved alongside for re-analysis.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric aggregates the samples of one unit (ns/op, allocs/op, events/s …)
+// across -count repetitions of a benchmark.
+type Metric struct {
+	Mean    float64   `json:"mean"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Samples []float64 `json:"samples"`
+}
+
+// Benchmark is one named benchmark with all its metrics.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int                `json:"runs"`
+	Metrics map[string]*Metric `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos       string       `json:"goos,omitempty"`
+	Goarch     string       `json:"goarch,omitempty"`
+	Pkg        string       `json:"pkg,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	Benchmarks []*Benchmark `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the trailing -N procs marker go test appends to
+// benchmark names when GOMAXPROCS > 1.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	rep := &Report{}
+	byName := map[string]*Benchmark{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if err := addLine(byName, &order, line); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: skipping %q: %v\n", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(order) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	for _, name := range order {
+		b := byName[name]
+		for _, m := range b.Metrics {
+			sort.Float64s(m.Samples)
+			m.Min = m.Samples[0]
+			m.Max = m.Samples[len(m.Samples)-1]
+			var sum float64
+			for _, v := range m.Samples {
+				sum += v
+			}
+			m.Mean = sum / float64(len(m.Samples))
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// addLine parses one result line: name, iteration count, then value/unit
+// pairs. Sub-benchmarks keep their full slash-joined name.
+func addLine(byName map[string]*Benchmark, order *[]string, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return fmt.Errorf("want an even field count of at least 4, got %d", len(fields))
+	}
+	name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+	iters, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return fmt.Errorf("iteration count: %w", err)
+	}
+	b := byName[name]
+	if b == nil {
+		b = &Benchmark{Name: name, Metrics: map[string]*Metric{}}
+		byName[name] = b
+		*order = append(*order, name)
+	}
+	b.Runs++
+	add := func(unit string, v float64) {
+		m := b.Metrics[unit]
+		if m == nil {
+			m = &Metric{}
+			b.Metrics[unit] = m
+		}
+		m.Samples = append(m.Samples, v)
+	}
+	add("iterations", iters)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return fmt.Errorf("value for %s: %w", fields[i+1], err)
+		}
+		add(fields[i+1], v)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

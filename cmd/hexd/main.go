@@ -20,6 +20,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +40,7 @@ func main() {
 		maxNodes    = flag.Int("max-nodes", 250000, "largest admissible grid, in nodes")
 		maxRuns     = flag.Int("max-runs", 2000, "largest admissible runs count per /v1/spec")
 		drainwindow = flag.Duration("drain", 30*time.Second, "graceful shutdown window")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; the endpoints expose heap and CPU internals)")
 	)
 	flag.Parse()
 
@@ -51,9 +53,22 @@ func main() {
 		MaxNodes:       *maxNodes,
 		MaxRuns:        *maxRuns,
 	})
+	handler := svc.Handler()
+	if *pprofOn {
+		// Wrap the API mux rather than touching http.DefaultServeMux, so
+		// the profile endpoints exist only when asked for.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

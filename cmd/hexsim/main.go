@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/analysis"
 	"repro/internal/fault"
@@ -35,8 +37,37 @@ func main() {
 		svg       = flag.Bool("svg", false, "print the wave as an SVG heat map and exit")
 		plus      = flag.Bool("plus", false, "use the HEX+ augmented topology (Section 5)")
 		timeout   = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = none)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		// Deferred so the profile reflects the heap after the run, including
+		// anything the arena pool retains.
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
 
 	if *csv && *svg {
 		fail(fmt.Errorf("-csv and -svg are mutually exclusive; pass at most one output format"))

@@ -223,6 +223,9 @@ type StabilizationConfig struct {
 	// Faults defaults to fault-free.
 	Faults *FaultPlan
 	Seed   uint64
+	// Context, if non-nil, cancels the simulation: once it is done the
+	// engine stops early and RunStabilization returns the context's error.
+	Context context.Context
 }
 
 // StabilizationReport is the outcome of RunStabilization.
@@ -269,6 +272,7 @@ func RunStabilization(cfg StabilizationConfig) (*StabilizationReport, error) {
 		Schedule:   sched,
 		RandomInit: true,
 		Seed:       cfg.Seed,
+		Context:    cfg.Context,
 	})
 	if err != nil {
 		return nil, err

@@ -90,27 +90,18 @@ func (w *Wave) InterSkewRangeLayer(l int) (lo, hi sim.Time, ok bool) {
 		if !w.Valid(n) {
 			continue
 		}
-		for _, lower := range w.lowerNeighbors(n) {
-			if !w.Valid(lower) {
-				continue
-			}
-			s := w.T[n] - w.T[lower]
+		if ll, has := w.G.LowerLeftNeighbor(n); has && w.Valid(ll) {
+			s := w.T[n] - w.T[ll]
+			lo, hi = sim.MinTime(lo, s), sim.MaxOf(hi, s)
+			ok = true
+		}
+		if lr, has := w.G.LowerRightNeighbor(n); has && w.Valid(lr) {
+			s := w.T[n] - w.T[lr]
 			lo, hi = sim.MinTime(lo, s), sim.MaxOf(hi, s)
 			ok = true
 		}
 	}
 	return lo, hi, ok
-}
-
-func (w *Wave) lowerNeighbors(n int) []int {
-	var out []int
-	if ll, ok := w.G.LowerLeftNeighbor(n); ok {
-		out = append(out, ll)
-	}
-	if lr, ok := w.G.LowerRightNeighbor(n); ok {
-		out = append(out, lr)
-	}
-	return out
 }
 
 // SkewPotential computes Δℓ of Definition 3 for layer `layer` of the

@@ -50,7 +50,9 @@ type Config struct {
 	Trace Tracer
 }
 
-// Result holds the observables of one run.
+// Result holds the observables of one run. A Result owns its memory: it
+// never aliases arena storage, so it stays valid after the arena that
+// produced it is reused for another run.
 type Result struct {
 	// Triggers[n] lists the triggering times of node n in increasing
 	// order. Faulty nodes never trigger (their outputs are stuck and their
@@ -65,17 +67,23 @@ type Result struct {
 // inputState tracks one incoming link's memory flag (Fig. 7b).
 type inputState struct {
 	mode fault.LinkMode
+	role grid.Role
 	set  bool
 	gen  uint32 // invalidates in-flight flag-expiry events
 }
 
 // nodeState is the runtime state of one forwarding node (Fig. 7a).
 type nodeState struct {
-	in       []inputState // parallel to Graph.In(n)
+	in       []inputState // parallel to Graph.In(n); backed by network.inArena
 	sleeping bool
 	wakeGen  uint32 // invalidates in-flight wake events
 	faulty   bool
 	isSource bool
+	// roleCnt[r] counts the currently effective inputs of role r: set
+	// memory flags on links that are not stuck-at-0. It is maintained
+	// incrementally on every flag transition so guard evaluation is
+	// O(guard pairs) instead of a rescan of all inputs.
+	roleCnt [grid.NumRoles]uint8
 }
 
 // Typed event kinds dispatched through the sim engine (no per-event
@@ -83,7 +91,7 @@ type nodeState struct {
 const (
 	evSourceFire uint8 = iota // a = node
 	evCheck                   // a = node
-	evDeliver                 // a = from, b = to
+	evDeliver                 // a = from, b = to | inIdx<<32
 	evExpire                  // a = node, b = idx | gen<<32
 	evWake                    // a = node, b = gen
 )
@@ -96,7 +104,7 @@ func (nw *network) Dispatch(kind uint8, a, b int64) {
 	case evCheck:
 		nw.checkFire(int(a))
 	case evDeliver:
-		nw.deliver(int(a), int(b))
+		nw.deliver(int(a), int(uint32(b)), int(b>>32))
 	case evExpire:
 		nw.expireFlag(int(a), int(uint32(b)), uint32(b>>32))
 	case evWake:
@@ -106,20 +114,27 @@ func (nw *network) Dispatch(kind uint8, a, b int64) {
 	}
 }
 
-// network binds a Config to a running engine.
+// network binds a Config to a running engine. Its storage (node states,
+// input flags, trigger accumulators, engine queue) survives across runs
+// when driven through an Arena; build re-initializes every field, so a
+// reused network is observationally identical to a fresh one.
 type network struct {
 	cfg      Config
-	eng      *sim.Engine
+	eng      sim.Engine
 	g        *grid.Graph
-	rngDelay *sim.RNG
-	rngTimer *sim.RNG
-	rngInit  *sim.RNG
+	rngDelay sim.RNG
+	rngTimer sim.RNG
+	rngInit  sim.RNG
 	nodes    []nodeState
-	triggers [][]sim.Time
+	inArena  []inputState // flat backing array for nodes[i].in
+	triggers [][]sim.Time // arena-owned accumulators, snapshot into Result
+	// lastGraph remembers which topology the per-node storage is sliced
+	// for; a run on a different *grid.Graph re-slices from scratch.
+	lastGraph *grid.Graph
 }
 
-// Run executes the simulation described by cfg and returns its result.
-func Run(cfg Config) (*Result, error) {
+// run executes the simulation described by cfg and returns its result.
+func (nw *network) run(cfg Config) (*Result, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("core: Config.Graph is required")
 	}
@@ -137,17 +152,16 @@ func Run(cfg Config) (*Result, error) {
 			len(cfg.Schedule.Times[0]), len(cfg.Graph.Layer(0)))
 	}
 
-	nw := &network{
-		cfg:      cfg,
-		eng:      sim.NewEngine(),
-		g:        cfg.Graph,
-		rngDelay: sim.NewRNG(sim.DeriveSeed(cfg.Seed, "delay")),
-		rngTimer: sim.NewRNG(sim.DeriveSeed(cfg.Seed, "timer")),
-		rngInit:  sim.NewRNG(sim.DeriveSeed(cfg.Seed, "init")),
-	}
+	nw.cfg = cfg
+	nw.g = cfg.Graph
+	nw.eng.Reset()
+	nw.rngDelay.Reseed(sim.DeriveSeed(cfg.Seed, "delay"))
+	nw.rngTimer.Reseed(sim.DeriveSeed(cfg.Seed, "timer"))
+	nw.rngInit.Reseed(sim.DeriveSeed(cfg.Seed, "init"))
 	nw.eng.SetDispatcher(nw)
 	if ctx := cfg.Context; ctx != nil {
 		if err := ctx.Err(); err != nil {
+			nw.release()
 			return &Result{Triggers: make([][]sim.Time, cfg.Graph.NumNodes())}, err
 		}
 		nw.eng.SetStopCheck(0, func() bool { return ctx.Err() != nil })
@@ -159,14 +173,50 @@ func Run(cfg Config) (*Result, error) {
 	}
 	nw.eng.Run(horizon)
 	res := &Result{
-		Triggers: nw.triggers,
+		Triggers: nw.snapshotTriggers(),
 		Events:   nw.eng.Executed,
 		Horizon:  horizon,
 	}
-	if nw.eng.Interrupted() {
+	interrupted := nw.eng.Interrupted()
+	nw.release()
+	if interrupted {
 		return res, cfg.Context.Err()
 	}
 	return res, nil
+}
+
+// release drops the per-run references the arena must not retain between
+// runs (context, callbacks, delay model, fault plan). The sized storage
+// stays for the next run.
+func (nw *network) release() {
+	nw.cfg = Config{}
+	nw.eng.SetStopCheck(0, nil)
+}
+
+// snapshotTriggers copies the arena's trigger accumulators into compact,
+// caller-owned storage: one flat array plus one header slice, regardless
+// of node count. Nodes that never triggered keep a nil history, matching
+// the pre-arena behavior.
+func (nw *network) snapshotTriggers() [][]sim.Time {
+	total := 0
+	for _, ts := range nw.triggers {
+		total += len(ts)
+	}
+	out := make([][]sim.Time, len(nw.triggers))
+	if total == 0 {
+		return out
+	}
+	flat := make([]sim.Time, total)
+	pos := 0
+	for i, ts := range nw.triggers {
+		if len(ts) == 0 {
+			continue
+		}
+		n := copy(flat[pos:], ts)
+		out[i] = flat[pos : pos+n : pos+n]
+		pos += n
+	}
+	return out
 }
 
 // autoHorizon derives a stop time covering the last pulse's full traversal,
@@ -180,26 +230,51 @@ func (nw *network) autoHorizon() sim.Time {
 }
 
 // build initializes node states, static stuck-at-1 inputs, the layer-0
-// schedule, random initial states, and the time-0 guard checks.
+// schedule, random initial states, and the time-0 guard checks. On a reused
+// network it re-initializes every field of the retained storage instead of
+// allocating; only a topology change (different *grid.Graph) re-slices.
 func (nw *network) build() {
 	g := nw.g
 	n := g.NumNodes()
-	nw.nodes = make([]nodeState, n)
-	nw.triggers = make([][]sim.Time, n)
 	plan := nw.cfg.Faults
+
+	if nw.lastGraph != g {
+		nw.nodes = make([]nodeState, n)
+		totalIn := 0
+		for id := 0; id < n; id++ {
+			totalIn += len(g.In(id))
+		}
+		nw.inArena = make([]inputState, totalIn)
+		pos := 0
+		for id := 0; id < n; id++ {
+			d := len(g.In(id))
+			nw.nodes[id].in = nw.inArena[pos : pos+d : pos+d]
+			pos += d
+		}
+		nw.triggers = make([][]sim.Time, n)
+		nw.lastGraph = g
+	}
 
 	for id := 0; id < n; id++ {
 		st := &nw.nodes[id]
+		st.sleeping = false
+		st.wakeGen = 0
+		st.roleCnt = [grid.NumRoles]uint8{}
 		st.faulty = plan.IsFaulty(id)
 		st.isSource = g.LayerOf(id) == 0
 		links := g.In(id)
-		st.in = make([]inputState, len(links))
-		for i, l := range links {
-			st.in[i].mode = plan.Link(l.From, id)
-			if st.in[i].mode == fault.LinkStuck1 {
-				st.in[i].set = true // permanently high input
+		for i := range st.in {
+			in := &st.in[i]
+			in.role = links[i].Role
+			in.mode = plan.Link(links[i].From, id)
+			in.gen = 0
+			in.set = false
+			if in.mode == fault.LinkStuck1 {
+				in.set = true // permanently high input
+				st.roleCnt[in.role]++
 			}
 		}
+		nw.triggers[id] = nw.triggers[id][:0]
 	}
 
 	// Layer-0 pulse generation.
@@ -249,12 +324,32 @@ func (nw *network) randomizeState(id int) {
 		if !nw.rngInit.Bool() {
 			continue
 		}
-		st.in[i].set = true
+		nw.setFlag(st, i)
 		if p.LinkTimersEnabled() {
 			residual := nw.rngInit.TimeIn(0, p.TLinkMax)
 			nw.eng.ScheduleEvent(residual, evExpire,
 				int64(id), int64(i)|int64(st.in[i].gen)<<32)
 		}
+	}
+}
+
+// setFlag sets input i's memory flag and maintains the role counters. The
+// flag must currently be clear.
+func (nw *network) setFlag(st *nodeState, i int) {
+	in := &st.in[i]
+	in.set = true
+	if in.mode != fault.LinkStuck0 {
+		st.roleCnt[in.role]++
+	}
+}
+
+// clearFlag clears input i's memory flag and maintains the role counters.
+// The flag must currently be set.
+func (nw *network) clearFlag(st *nodeState, i int) {
+	in := &st.in[i]
+	in.set = false
+	if in.mode != fault.LinkStuck0 {
+		st.roleCnt[in.role]--
 	}
 }
 
@@ -270,14 +365,15 @@ func (nw *network) broadcast(id int) {
 	for _, out := range nw.g.Out(id) {
 		switch nw.cfg.Faults.Link(id, out.To) {
 		case fault.LinkCorrect:
-			d := nw.cfg.Delay.Delay(id, out.To, now, nw.rngDelay)
+			d := nw.cfg.Delay.Delay(id, out.To, now, &nw.rngDelay)
 			if d < 0 {
 				panic("core: delay model returned a negative delay")
 			}
 			if nw.cfg.Trace != nil {
 				nw.cfg.Trace.Send(id, out.To, now, now+d)
 			}
-			nw.eng.ScheduleEvent(now+d, evDeliver, int64(id), int64(out.To))
+			nw.eng.ScheduleEvent(now+d, evDeliver,
+				int64(id), int64(out.To)|int64(out.InIdx)<<32)
 		default:
 			// Stuck links never carry discrete messages; stuck-at-1 is
 			// modelled as a permanently set input at the receiver.
@@ -287,8 +383,10 @@ func (nw *network) broadcast(id int) {
 
 // deliver processes the arrival of a trigger message from `from` at `to`
 // (the "upon receiving trigger message from neighbor" rule of Algorithm 1).
-func (nw *network) deliver(from, to int) {
-	accepted := nw.deliverAccept(from, to)
+// idx is the precomputed index of the input the message drives (the
+// reverse-edge index carried by the event payload).
+func (nw *network) deliver(from, to, idx int) {
+	accepted := nw.deliverAccept(to, idx)
 	if nw.cfg.Trace != nil {
 		nw.cfg.Trace.Deliver(from, to, nw.eng.Now(), accepted)
 	}
@@ -299,13 +397,9 @@ func (nw *network) deliver(from, to int) {
 
 // deliverAccept updates the receiver's flag state and reports whether the
 // message was memorized.
-func (nw *network) deliverAccept(from, to int) bool {
+func (nw *network) deliverAccept(to, idx int) bool {
 	st := &nw.nodes[to]
 	if st.faulty || st.isSource {
-		return false
-	}
-	idx := nw.inputIndex(to, from)
-	if idx < 0 {
 		return false
 	}
 	in := &st.in[idx]
@@ -317,7 +411,7 @@ func (nw *network) deliverAccept(from, to int) bool {
 		// trigger neither restarts the timer nor changes state.
 		return false
 	}
-	in.set = true
+	nw.setFlag(st, idx)
 	in.gen++
 	if nw.cfg.Params.LinkTimersEnabled() {
 		dur := nw.rngTimer.TimeIn(nw.cfg.Params.TLinkMin, nw.cfg.Params.TLinkMax)
@@ -327,52 +421,38 @@ func (nw *network) deliverAccept(from, to int) bool {
 	return true
 }
 
-// inputIndex finds which of to's inputs node from drives.
-func (nw *network) inputIndex(to, from int) int {
-	for i, l := range nw.g.In(to) {
-		if l.From == from {
-			return i
-		}
-	}
-	return -1
-}
-
 // expireFlag clears a memory flag when its link timer fires, unless the
 // flag has been cleared and re-set since the timer started.
 func (nw *network) expireFlag(id, idx int, gen uint32) {
-	in := &nw.nodes[id].in[idx]
+	st := &nw.nodes[id]
+	in := &st.in[idx]
 	if in.gen != gen || in.mode == fault.LinkStuck1 {
 		return
 	}
-	in.set = false
+	if in.set {
+		nw.clearFlag(st, idx)
+	}
 	if nw.cfg.Trace != nil {
 		nw.cfg.Trace.FlagExpire(id, idx, nw.eng.Now())
 	}
 }
 
-// guardSatisfied evaluates the firing guard over the node's effective
-// inputs (memory flags, with stuck-at-1 inputs permanently set).
+// guardSatisfied evaluates the firing guard against the incrementally
+// maintained per-role counters: O(guard pairs), no input rescan.
 func (nw *network) guardSatisfied(id int) bool {
 	st := &nw.nodes[id]
-	var have [grid.NumRoles]bool
-	links := nw.g.In(id)
-	for i := range st.in {
-		if st.in[i].set && st.in[i].mode != fault.LinkStuck0 {
-			have[links[i].Role] = true
-		}
-	}
 	switch nw.cfg.Params.Guard {
 	case GuardAdjacent:
 		for _, pair := range nw.g.GuardPairs() {
-			if have[pair[0]] && have[pair[1]] {
+			if st.roleCnt[pair[0]] > 0 && st.roleCnt[pair[1]] > 0 {
 				return true
 			}
 		}
 		return false
 	case GuardAnyTwo:
 		count := 0
-		for _, h := range have {
-			if h {
+		for _, c := range st.roleCnt {
+			if c > 0 {
 				count++
 			}
 		}
@@ -415,7 +495,9 @@ func (nw *network) wake(id int, gen uint32) {
 		if st.in[i].mode == fault.LinkStuck1 {
 			continue // a constant-1 input re-sets its flag immediately
 		}
-		st.in[i].set = false
+		if st.in[i].set {
+			nw.clearFlag(st, i)
+		}
 		st.in[i].gen++
 	}
 	if nw.cfg.Trace != nil {

@@ -117,6 +117,12 @@ func RunOneCtx(ctx context.Context, s Spec, idx int) (*RunOut, error) {
 	return runOnGrid(ctx, s, h, idx)
 }
 
+// arenas pools reusable simulation storage across the runs of a sweep.
+// Workers draw an arena per run; consecutive runs on the same topology
+// then reuse node states, input flags, trigger accumulators, and event
+// queue backing arrays instead of reallocating them (see core.Arena).
+var arenas = sync.Pool{New: func() any { return core.NewArena() }}
+
 func runOnGrid(ctx context.Context, s Spec, h *grid.Hex, idx int) (*RunOut, error) {
 	seed := s.runSeed(idx)
 	offsets := source.Offsets(s.Scenario, s.W, s.Bounds,
@@ -137,7 +143,8 @@ func runOnGrid(ctx context.Context, s Spec, h *grid.Hex, idx int) (*RunOut, erro
 		}
 	}
 
-	res, err := core.Run(core.Config{
+	a := arenas.Get().(*core.Arena)
+	res, err := a.Run(core.Config{
 		Graph:    h.Graph,
 		Params:   s.Params,
 		Delay:    delay.Uniform{Bounds: s.Bounds},
@@ -146,6 +153,7 @@ func runOnGrid(ctx context.Context, s Spec, h *grid.Hex, idx int) (*RunOut, erro
 		Seed:     seed,
 		Context:  ctx,
 	})
+	arenas.Put(a)
 	if err != nil {
 		return nil, err
 	}
@@ -168,15 +176,17 @@ func RunMany(s Spec) ([]*RunOut, error) {
 // is returned.
 func RunManyCtx(ctx context.Context, s Spec) ([]*RunOut, error) {
 	s = s.WithDefaults()
+	// One grid serves every run: a Graph is immutable after construction,
+	// so sharing it across workers is race-free, and it keys the arena
+	// reuse (an arena re-slices its storage whenever the topology pointer
+	// changes, so per-run grids would defeat the pool).
+	h, err := s.buildGrid()
+	if err != nil {
+		return nil, err
+	}
 	outs := make([]*RunOut, s.Runs)
 	errs := make([]error, s.Runs)
 	parallelFor(ctx, s.Runs, func(idx int) {
-		// Each run builds its own grid so runs share no mutable state.
-		h, err := s.buildGrid()
-		if err != nil {
-			errs[idx] = err
-			return
-		}
 		outs[idx], errs[idx] = runOnGrid(ctx, s, h, idx)
 	})
 	if err := ctx.Err(); err != nil {

@@ -81,11 +81,21 @@ func (s StabSpec) runSeed(idx int) uint64 {
 
 // StabRunOne executes stabilization run idx.
 func StabRunOne(s StabSpec, idx int) (*StabOut, error) {
+	return StabRunOneCtx(context.Background(), s, idx)
+}
+
+// StabRunOneCtx is StabRunOne with cancellation: once ctx is done the
+// underlying simulation stops early and the context's error is returned.
+func StabRunOneCtx(ctx context.Context, s StabSpec, idx int) (*StabOut, error) {
 	s = s.WithDefaults()
 	h, err := grid.NewHex(s.L, s.W)
 	if err != nil {
 		return nil, err
 	}
+	return stabRunOnGrid(ctx, s, h, idx)
+}
+
+func stabRunOnGrid(ctx context.Context, s StabSpec, h *grid.Hex, idx int) (*StabOut, error) {
 	seed := s.runSeed(idx)
 	sched := source.NewSchedule(s.Scenario, s.W, s.Pulses, s.Bounds,
 		s.Timeouts.Separation, sim.NewRNG(sim.DeriveSeed(seed, "sched")))
@@ -116,7 +126,8 @@ func StabRunOne(s StabSpec, idx int) (*StabOut, error) {
 		params.TLinkMin, params.TLinkMax = 0, 0
 	}
 
-	res, err := core.Run(core.Config{
+	a := arenas.Get().(*core.Arena)
+	res, err := a.Run(core.Config{
 		Graph:      h.Graph,
 		Params:     params,
 		Delay:      delay.Uniform{Bounds: s.Bounds},
@@ -124,7 +135,9 @@ func StabRunOne(s StabSpec, idx int) (*StabOut, error) {
 		Schedule:   sched,
 		RandomInit: true,
 		Seed:       seed,
+		Context:    ctx,
 	})
+	arenas.Put(a)
 	if err != nil {
 		return nil, err
 	}
@@ -137,12 +150,28 @@ func StabRunOne(s StabSpec, idx int) (*StabOut, error) {
 
 // StabRunMany executes all runs of the spec in parallel.
 func StabRunMany(s StabSpec) ([]*StabOut, error) {
+	return StabRunManyCtx(context.Background(), s)
+}
+
+// StabRunManyCtx is StabRunMany with cancellation: once ctx is done, no
+// further runs start, in-flight simulations stop early, and the context's
+// error is returned.
+func StabRunManyCtx(ctx context.Context, s StabSpec) ([]*StabOut, error) {
 	s = s.WithDefaults()
+	// As in RunManyCtx, one immutable grid serves every run and keys the
+	// arena reuse.
+	h, err := grid.NewHex(s.L, s.W)
+	if err != nil {
+		return nil, err
+	}
 	outs := make([]*StabOut, s.Runs)
 	errs := make([]error, s.Runs)
-	parallelFor(context.Background(), s.Runs, func(idx int) {
-		outs[idx], errs[idx] = StabRunOne(s, idx)
+	parallelFor(ctx, s.Runs, func(idx int) {
+		outs[idx], errs[idx] = stabRunOnGrid(ctx, s, h, idx)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

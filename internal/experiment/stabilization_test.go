@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/delay"
@@ -119,5 +121,49 @@ func TestAblationLinkTimeoutsShape(t *testing.T) {
 	}
 	if on == 0 {
 		t.Error("nothing stabilized with timers on")
+	}
+}
+
+// TestStabRunManyCtxCancelled verifies the multi-run stabilization driver
+// honors cancellation: a pre-cancelled context yields the context's error
+// without completing the sweep.
+func TestStabRunManyCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := StabSpec{L: 12, W: 8, Runs: 8, Seed: 3,
+		Scenario: source.UniformDPlus, Timeouts: testTimeouts()}
+	if _, err := StabRunManyCtx(ctx, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStabRunManyCtxDeterministic verifies that the cancellable path with a
+// never-cancelled context produces the same outcome as the plain one.
+func TestStabRunManyCtxDeterministic(t *testing.T) {
+	spec := StabSpec{L: 10, W: 8, Runs: 4, Seed: 5,
+		Scenario: source.UniformDPlus, Timeouts: testTimeouts()}
+	a, err := StabRunMany(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StabRunManyCtx(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		wa, wb := a[i].PA.Waves, b[i].PA.Waves
+		if len(wa) != len(wb) {
+			t.Fatalf("run %d: wave counts differ", i)
+		}
+		for k := range wa {
+			for n := range wa[k].T {
+				if wa[k].T[n] != wb[k].T[n] {
+					t.Fatalf("run %d pulse %d node %d: %v vs %v", i, k, n, wa[k].T[n], wb[k].T[n])
+				}
+			}
+		}
 	}
 }

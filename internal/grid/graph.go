@@ -80,6 +80,15 @@ type InLink struct {
 type OutLink struct {
 	To   int  // destination node id
 	Role Role // input the link drives at the destination
+	// InIdx is the index into In(To) of the first incoming link whose From
+	// is this link's source: the input a message over this link drives at
+	// the receiver. It is precomputed at build time so message delivery
+	// needs no per-event scan of the receiver's inputs. ("First" matters on
+	// narrow wrap-around grids where one source can drive two inputs of the
+	// same destination; receivers memorize such a message on the
+	// lowest-Role input, matching a linear scan over the role-sorted
+	// inputs.)
+	InIdx int32
 }
 
 // Graph is a layered directed communication graph. Layer 0 holds the clock
@@ -127,7 +136,8 @@ func (b *builder) addLink(from, to int, role Role) {
 }
 
 // build finalizes the graph, sorting incoming links by role for stable
-// iteration order. The default guard is Algorithm 1's three pairs.
+// iteration order and precomputing the reverse-edge index (OutLink.InIdx).
+// The default guard is Algorithm 1's three pairs.
 func (b *builder) build() *Graph {
 	for n := range b.g.in {
 		links := b.g.in[n]
@@ -135,6 +145,23 @@ func (b *builder) build() *Graph {
 		for i := 1; i < len(links); i++ {
 			for j := i; j > 0 && links[j].Role < links[j-1].Role; j-- {
 				links[j], links[j-1] = links[j-1], links[j]
+			}
+		}
+	}
+	// Resolve each out-link's input index at its destination, after the
+	// role sort above has fixed the final in-link order.
+	for n := range b.g.out {
+		outs := b.g.out[n]
+		for k := range outs {
+			outs[k].InIdx = -1
+			for i, l := range b.g.in[outs[k].To] {
+				if l.From == n {
+					outs[k].InIdx = int32(i)
+					break
+				}
+			}
+			if outs[k].InIdx < 0 {
+				panic("grid: out-link without matching in-link")
 			}
 		}
 	}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFlightSurvivesLeaderDisconnect pins the detached-flight contract: the
+// request that starts a computation (the leader) disconnecting does not
+// cancel it for coalesced followers — the flight's context is detached from
+// the leader's, and a follower that stays gets the full result.
+func TestFlightSurvivesLeaderDisconnect(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var computeErr error
+	compute := func(ctx context.Context) (*cached, error) {
+		close(started)
+		<-release
+		if computeErr = ctx.Err(); computeErr != nil {
+			return nil, computeErr
+		}
+		return &cached{body: []byte("result"), contentType: "text/plain"}, nil
+	}
+
+	leaderCtx, disconnectLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := s.result(leaderCtx, time.Minute, "flight-test", compute)
+		leaderDone <- err
+	}()
+	<-started // the flight is registered and computing
+
+	followerDone := make(chan struct{})
+	var followerVal *cached
+	var followerErr error
+	go func() {
+		defer close(followerDone)
+		followerVal, followerErr = s.result(context.Background(), time.Minute, "flight-test",
+			func(context.Context) (*cached, error) {
+				t.Error("follower compute ran; it should have joined the in-flight computation")
+				return nil, nil
+			})
+	}()
+	waitFor(t, func() bool { return s.Metrics.DedupJoins.Value() == 1 })
+
+	// The leader walks away mid-computation…
+	disconnectLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	// …and the computation still finishes for the follower.
+	close(release)
+	<-followerDone
+	if followerErr != nil {
+		t.Fatalf("follower err = %v, want result", followerErr)
+	}
+	if followerVal == nil || string(followerVal.body) != "result" {
+		t.Fatalf("follower got %+v", followerVal)
+	}
+	if computeErr != nil {
+		t.Fatalf("flight context was cancelled by the leader's disconnect: %v", computeErr)
+	}
+}
+
+// TestFlightCancelledWhenLastWaiterLeaves verifies the other half of the
+// contract: once every waiter has abandoned a flight, its detached context
+// is cancelled so the simulation stops consuming a worker.
+func TestFlightCancelledWhenLastWaiterLeaves(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	compute := func(ctx context.Context) (*cached, error) {
+		close(started)
+		<-release
+		errc <- ctx.Err()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return &cached{body: []byte("unwanted"), contentType: "text/plain"}, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.result(ctx, time.Minute, "abandoned-flight", compute)
+		done <- err
+	}()
+	<-started
+
+	cancel() // the only waiter leaves
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("flight ctx err = %v, want context.Canceled after last waiter left", err)
+	}
+}

@@ -56,9 +56,10 @@ func (s *Service) serve(w http.ResponseWriter, r *http.Request, endpoint string,
 	start := time.Now()
 	defer func() { s.Metrics.Latency[endpoint].ObserveDuration(time.Since(start)) }()
 
-	ctx, cancel := context.WithTimeout(r.Context(), requestTimeout(timeoutMs, s.opts))
+	timeout := requestTimeout(timeoutMs, s.opts)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	val, err := s.result(ctx, key, compute)
+	val, err := s.result(ctx, timeout, key, compute)
 	if err != nil {
 		s.writeError(w, err)
 		return

@@ -82,11 +82,16 @@ func (o Options) withDefaults() Options {
 }
 
 // flight is one in-progress computation that any number of identical
-// requests may wait on.
+// requests may wait on. Its computation runs on a context detached from
+// the leader request (with the leader's timeout), so a coalesced flight
+// survives the leader disconnecting; it is cancelled only when the last
+// waiter leaves (waiters, guarded by Service.mu, tracks membership).
 type flight struct {
-	done chan struct{} // closed when val/err are final
-	val  *cached
-	err  error
+	done    chan struct{} // closed when val/err are final
+	val     *cached
+	err     error
+	cancel  context.CancelFunc // cancels the flight's detached context
+	waiters int                // guarded by Service.mu
 }
 
 // Service executes canonicalized simulation requests through a bounded
@@ -158,9 +163,11 @@ func (s *Service) Close() {
 
 // result returns the response for the canonical key: from the cache, by
 // joining an identical in-flight computation, or by enqueueing compute on
-// the worker pool. compute receives the originating request's context and
-// must honor its cancellation.
-func (s *Service) result(ctx context.Context, key string, compute func(context.Context) (*cached, error)) (*cached, error) {
+// the worker pool. The computation runs on a context detached from the
+// caller's: it carries timeout as its deadline but is not cancelled by the
+// leader request going away — only by the last interested waiter leaving.
+// ctx governs only how long this caller waits.
+func (s *Service) result(ctx context.Context, timeout time.Duration, key string, compute func(context.Context) (*cached, error)) (*cached, error) {
 	if v, ok := s.cache.Get(key); ok {
 		s.Metrics.CacheHits.Inc()
 		return v, nil
@@ -169,9 +176,10 @@ func (s *Service) result(ctx context.Context, key string, compute func(context.C
 
 	s.mu.Lock()
 	if f, ok := s.inflight[key]; ok {
+		f.waiters++
 		s.mu.Unlock()
 		s.Metrics.DedupJoins.Inc()
-		return f.wait(ctx)
+		return s.wait(ctx, f)
 	}
 	// Re-check the cache with the in-flight map locked: a flight that
 	// finished between the fast-path lookup and here published its result
@@ -186,9 +194,11 @@ func (s *Service) result(ctx context.Context, key string, compute func(context.C
 		s.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
-	f := &flight{done: make(chan struct{})}
+	fctx, cancel := context.WithTimeout(context.Background(), timeout)
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	job := func() {
-		f.val, f.err = compute(ctx)
+		f.val, f.err = compute(fctx)
+		cancel() // release the deadline timer; the flight is decided
 		if f.err == nil {
 			s.cache.Put(key, f.val)
 		}
@@ -204,20 +214,35 @@ func (s *Service) result(ctx context.Context, key string, compute func(context.C
 		s.Metrics.QueueDepth.Set(int64(len(s.jobs)))
 	default:
 		s.mu.Unlock()
+		cancel()
 		s.Metrics.QueueRejects.Inc()
 		return nil, ErrQueueFull
 	}
-	return f.wait(ctx)
+	return s.wait(ctx, f)
 }
 
 // wait blocks until the flight completes or ctx is done, whichever is
 // first. A waiter abandoning a flight does not cancel it for the others;
-// only the originating request's context cancels the computation itself.
-func (f *flight) wait(ctx context.Context) (*cached, error) {
+// when the *last* waiter leaves an unfinished flight, its detached context
+// is cancelled so abandoned simulations stop consuming workers.
+func (s *Service) wait(ctx context.Context, f *flight) (*cached, error) {
 	select {
 	case <-f.done:
 		return f.val, f.err
 	case <-ctx.Done():
+		s.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		s.mu.Unlock()
+		if last {
+			select {
+			case <-f.done:
+				// The flight finished while this waiter was leaving; its
+				// result is already cached. Nothing to cancel.
+			default:
+				f.cancel()
+			}
+		}
 		return nil, ctx.Err()
 	}
 }

@@ -32,6 +32,24 @@ type Engine struct {
 // NewEngine returns an engine with the clock at time 0.
 func NewEngine() *Engine { return &Engine{} }
 
+// Reset returns the engine to its initial state — clock at 0, sequence
+// counter at 0, no pending events, no stop hook, Executed zeroed — while
+// keeping the event queue's backing array, so a reused engine schedules
+// without reallocating. The dispatcher is kept; a run that needs a
+// different one calls SetDispatcher. A reset engine is indistinguishable
+// from a fresh NewEngine in every observable way, which is what lets
+// arena-style reuse preserve bit-identical simulations.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.interrupt = false
+	e.stopCheck = nil
+	e.stopEvery = 0
+	e.Executed = 0
+	e.queue.reset()
+}
+
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 

@@ -13,35 +13,41 @@ type event struct {
 	a, b int64
 }
 
-// eventQueue is a binary min-heap of events ordered by (at, seq).
+// eventQueue is a 4-ary min-heap of events ordered by (at, seq).
 // It is implemented directly (rather than via container/heap) to avoid
-// interface boxing on the simulator's hottest path.
+// interface boxing on the simulator's hottest path. The arity-4 layout
+// halves the tree depth of a binary heap, so a sift touches fewer cache
+// lines per level; with the branchy (at, seq) comparison this is a net win
+// on the pop-heavy workload of the simulator. Because (at, seq) keys are
+// unique, pops yield the same total order for any heap arity, so the queue
+// shape is not observable in simulation results.
 type eventQueue struct {
 	items []event
 }
 
 func (q *eventQueue) Len() int { return len(q.items) }
 
-func (q *eventQueue) less(i, j int) bool {
-	a, b := &q.items[i], &q.items[j]
+// before reports whether a orders strictly before b.
+func before(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-// push inserts e and restores the heap invariant (sift-up).
+// push inserts e and restores the heap invariant (hole-based sift-up).
 func (q *eventQueue) push(e event) {
 	q.items = append(q.items, e)
 	i := len(q.items) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		parent := (i - 1) >> 2
+		if !before(&e, &q.items[parent]) {
 			break
 		}
-		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		q.items[i] = q.items[parent]
 		i = parent
 	}
+	q.items[i] = e
 }
 
 // pop removes and returns the earliest event. It panics on an empty queue;
@@ -49,27 +55,48 @@ func (q *eventQueue) push(e event) {
 func (q *eventQueue) pop() event {
 	top := q.items[0]
 	last := len(q.items) - 1
-	q.items[0] = q.items[last]
+	moved := q.items[last]
+	q.items[last] = event{} // release any fn reference held by the slot
 	q.items = q.items[:last]
-	// Sift-down.
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && q.less(l, smallest) {
-			smallest = l
+	if last > 0 {
+		// Hole-based sift-down: move the hole to moved's final position,
+		// writing each element once instead of swapping.
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= last {
+				break
+			}
+			end := c + 4
+			if end > last {
+				end = last
+			}
+			best := c
+			for k := c + 1; k < end; k++ {
+				if before(&q.items[k], &q.items[best]) {
+					best = k
+				}
+			}
+			if !before(&q.items[best], &moved) {
+				break
+			}
+			q.items[i] = q.items[best]
+			i = best
 		}
-		if r < last && q.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
-		i = smallest
+		q.items[i] = moved
 	}
 	return top
 }
 
 // peekTime returns the time of the earliest event without removing it.
 func (q *eventQueue) peekTime() Time { return q.items[0].at }
+
+// reset empties the queue while keeping its backing array for reuse.
+// Remaining slots are zeroed so stale closures don't outlive the run that
+// scheduled them.
+func (q *eventQueue) reset() {
+	for i := range q.items {
+		q.items[i] = event{}
+	}
+	q.items = q.items[:0]
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is a container/heap reference implementation with the same
+// (at, seq) order as eventQueue. The fuzz and property tests below drive
+// both through identical push/pop interleavings and require identical pop
+// sequences: because (at, seq) keys are unique, every correct heap yields
+// the same total order regardless of arity or sift strategy.
+type refHeap []event
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return before(&h[i], &h[j]) }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// driveQueues feeds one interleaving of operations to both heaps and fails
+// if they ever disagree. ops bytes select the action: values < popBias pop
+// (when non-empty), everything else pushes an event whose time is derived
+// from the byte, with a shared seq counter guaranteeing key uniqueness.
+func driveQueues(t *testing.T, ops []byte) {
+	t.Helper()
+	var q eventQueue
+	ref := &refHeap{}
+	var seq uint64
+	const popBias = 96 // ~3/8 pops so the heaps grow and drain
+	for i, op := range ops {
+		if op < popBias && q.Len() > 0 {
+			got, want := q.pop(), heap.Pop(ref).(event)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("op %d: pop mismatch: queue (at=%d seq=%d), reference (at=%d seq=%d)",
+					i, got.at, got.seq, want.at, want.seq)
+			}
+			continue
+		}
+		// Coarse time quantization forces many equal-at events, exercising
+		// the seq tiebreak; occasional large jumps exercise deep sifts.
+		at := Time(op>>3) * 100
+		if op&7 == 7 {
+			at += Time(i) * 1e6
+		}
+		e := event{at: at, seq: seq, a: int64(i)}
+		seq++
+		q.push(e)
+		heap.Push(ref, e)
+	}
+	for q.Len() > 0 {
+		if ref.Len() == 0 {
+			t.Fatalf("queue holds %d events the reference does not", q.Len())
+		}
+		got, want := q.pop(), heap.Pop(ref).(event)
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("drain: pop mismatch: queue (at=%d seq=%d), reference (at=%d seq=%d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if ref.Len() != 0 {
+		t.Fatalf("reference holds %d events the queue does not", ref.Len())
+	}
+}
+
+// FuzzEventQueue lets the fuzzer search for an interleaving where the 4-ary
+// queue and container/heap disagree. Run with: go test -fuzz FuzzEventQueue ./internal/sim
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{200, 201, 202, 0, 0, 0})
+	f.Add([]byte{255, 7, 15, 23, 0, 128, 0, 0, 95, 95})
+	seed := make([]byte, 512)
+	r := rand.New(rand.NewSource(1))
+	r.Read(seed)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 1<<16 {
+			ops = ops[:1<<16]
+		}
+		driveQueues(t, ops)
+	})
+}
+
+// TestEventQueueMatchesReference is the deterministic property test run by
+// plain `go test`: random interleavings at several scales, plus a reuse
+// round after reset to cover the arena path.
+func TestEventQueueMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(424242))
+	for _, n := range []int{1, 2, 7, 64, 1000, 20000} {
+		ops := make([]byte, n)
+		r.Read(ops)
+		driveQueues(t, ops)
+	}
+}
+
+// TestEventQueueReuseAfterReset verifies reset leaves no residue that a
+// later run could observe: the same interleaving replayed on a reused queue
+// behaves identically to a fresh one.
+func TestEventQueueReuseAfterReset(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 100; i++ {
+		q.push(event{at: Time(100 - i), seq: uint64(i)})
+	}
+	q.reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after reset = %d", q.Len())
+	}
+	spare := q.items[:cap(q.items)]
+	for i := range spare {
+		e := &spare[i]
+		if e.at != 0 || e.seq != 0 || e.fn != nil || e.kind != 0 || e.a != 0 || e.b != 0 {
+			t.Fatalf("reset left residue at slot %d: %+v", i, *e)
+		}
+	}
+	ops := make([]byte, 4096)
+	rand.New(rand.NewSource(7)).Read(ops)
+	driveQueues(t, ops)
+}

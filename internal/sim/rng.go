@@ -27,11 +27,18 @@ func splitmix64(x *uint64) uint64 {
 // a valid, well-mixed state.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initializes r in place to the exact state NewRNG(seed) would
+// produce, letting arena-reused simulations restart their random streams
+// without allocating.
+func (r *RNG) Reseed(seed uint64) {
 	x := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&x)
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -1,0 +1,74 @@
+package hex
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// stabCfg returns a stabilization run big enough that it cannot complete
+// within a millisecond of wall time.
+func stabCfg(t *testing.T, ctx context.Context) StabilizationConfig {
+	t.Helper()
+	g, err := NewGrid(60, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return StabilizationConfig{
+		Grid:     g,
+		Scenario: ScenarioUniformDPlus,
+		Timeouts: Condition2(4*PaperBounds.Max, PaperBounds, g.L, 0, PaperDrift),
+		Seed:     7,
+		Context:  ctx,
+	}
+}
+
+// TestRunStabilizationDeadlineExpiry verifies that a deadline expiring
+// mid-run stops the multi-pulse simulation early and surfaces
+// context.DeadlineExceeded (ROADMAP item: only single-pulse paths were
+// cancellable before).
+func TestRunStabilizationDeadlineExpiry(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	rep, err := RunStabilization(stabCfg(t, ctx))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if rep != nil {
+		t.Fatalf("expired run returned a report: %+v", rep)
+	}
+}
+
+// TestRunStabilizationPreCancelled verifies an already-done context stops
+// the run before any simulation work happens.
+func TestRunStabilizationPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunStabilization(stabCfg(t, ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunStabilizationContextDeterministic verifies that threading a
+// context that never fires does not perturb the simulated outcome.
+func TestRunStabilizationContextDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full stabilization run")
+	}
+	base, err := RunStabilization(stabCfg(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := RunStabilization(stabCfg(t, context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Result.Events != withCtx.Result.Events {
+		t.Fatalf("events differ with context: %d vs %d", base.Result.Events, withCtx.Result.Events)
+	}
+	if base.StabilizedAt != withCtx.StabilizedAt {
+		t.Fatalf("stabilization pulse differs: %d vs %d", base.StabilizedAt, withCtx.StabilizedAt)
+	}
+}
