@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json vet fmt repro examples clean
+.PHONY: all build test test-short race bench bench-json vet fmt cover repro examples clean
 
 all: build test
 
@@ -25,6 +25,16 @@ bench-json:
 
 race:
 	$(GO) test -race -short ./...
+
+# Race-run the serving layer and the durable store with coverage; fail if
+# internal/store (the crash-recovery code) drops below 85%.
+cover:
+	$(GO) test -race -coverprofile=cover_service.out ./internal/service/...
+	$(GO) test -race -coverprofile=cover_store.out ./internal/store/...
+	@$(GO) tool cover -func=cover_service.out | awk '$$1=="total:"{print "internal/service coverage:", $$3}'
+	@$(GO) tool cover -func=cover_store.out | awk '$$1=="total:"{sub(/%/,"",$$3); \
+		printf "internal/store coverage: %s%%\n", $$3; \
+		if ($$3+0 < 85) { print "FAIL: internal/store coverage below 85%"; exit 1 }}'
 
 vet:
 	$(GO) vet ./...
@@ -49,4 +59,4 @@ examples:
 	$(GO) run ./examples/endtoend
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt cover_service.out cover_store.out

@@ -2,9 +2,13 @@
 // with admission control, a deterministic result cache with in-flight
 // deduplication, per-request deadlines, and graceful drain on SIGTERM.
 //
+// With -store-dir, results are also persisted to a disk-backed,
+// checksummed store that survives restarts (see DESIGN.md §10).
+//
 // Usage:
 //
-//	hexd -addr :8080 -workers 8 -queue 32 -cache 512 -timeout 30s
+//	hexd -addr :8080 -workers 8 -queue 32 -cache 512 -timeout 30s \
+//	     -store-dir /var/lib/hexd -store-max-bytes 268435456
 //
 // Endpoints:
 //
@@ -27,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -41,8 +46,20 @@ func main() {
 		maxRuns     = flag.Int("max-runs", 2000, "largest admissible runs count per /v1/spec")
 		drainwindow = flag.Duration("drain", 30*time.Second, "graceful shutdown window")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; the endpoints expose heap and CPU internals)")
+		storeDir    = flag.String("store-dir", "", "durable result store directory (empty disables; survives restarts)")
+		storeMax    = flag.Int64("store-max-bytes", 256<<20, "on-disk byte budget for -store-dir (<= 0 = unlimited)")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, *storeMax); err != nil {
+			log.Fatalf("hexd: open store %s: %v", *storeDir, err)
+		}
+		log.Printf("hexd: store %s recovered %d records (%d bytes, %d quarantined)",
+			*storeDir, st.Len(), st.Bytes(), st.Quarantined())
+	}
 
 	svc := service.New(service.Options{
 		Workers:        *workers,
@@ -52,6 +69,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxNodes:       *maxNodes,
 		MaxRuns:        *maxRuns,
+		Store:          st,
 	})
 	handler := svc.Handler()
 	if *pprofOn {

@@ -94,8 +94,15 @@ type Metrics struct {
 	// SimEvents accumulates sim.Engine.Executed over all runs, including
 	// the partial event counts of cancelled runs.
 	SimEvents *Counter
-	// QueueDepth and InFlight are instantaneous occupancy gauges.
-	QueueDepth, InFlight *Gauge
+	// StoreHits counts memory-cache misses answered from the durable
+	// store; StoreWrites counts records persisted; StoreErrors counts
+	// failed store reads/writes (corrupt records quarantined at read
+	// time, IO failures) — each error degrades to a recompute, never an
+	// outage.
+	StoreHits, StoreWrites, StoreErrors *Counter
+	// QueueDepth and InFlight are instantaneous occupancy gauges;
+	// StoreBytes tracks the on-disk size of live store records.
+	QueueDepth, InFlight, StoreBytes *Gauge
 
 	endpoints []string
 }
@@ -112,8 +119,12 @@ func NewMetrics(endpoints ...string) *Metrics {
 		DeadlineExceeded: &Counter{},
 		SimRuns:          &Counter{},
 		SimEvents:        &Counter{},
+		StoreHits:        &Counter{},
+		StoreWrites:      &Counter{},
+		StoreErrors:      &Counter{},
 		QueueDepth:       &Gauge{},
 		InFlight:         &Gauge{},
+		StoreBytes:       &Gauge{},
 		endpoints:        append([]string(nil), endpoints...),
 	}
 	sort.Strings(m.endpoints)
@@ -136,6 +147,10 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "hexd_deadline_exceeded_total %d\n", m.DeadlineExceeded.Value())
 	fmt.Fprintf(w, "hexd_sim_runs_total %d\n", m.SimRuns.Value())
 	fmt.Fprintf(w, "hexd_sim_events_total %d\n", m.SimEvents.Value())
+	fmt.Fprintf(w, "hexd_store_hits_total %d\n", m.StoreHits.Value())
+	fmt.Fprintf(w, "hexd_store_writes_total %d\n", m.StoreWrites.Value())
+	fmt.Fprintf(w, "hexd_store_errors_total %d\n", m.StoreErrors.Value())
+	fmt.Fprintf(w, "hexd_store_bytes %d\n", m.StoreBytes.Value())
 	fmt.Fprintf(w, "hexd_queue_depth %d\n", m.QueueDepth.Value())
 	fmt.Fprintf(w, "hexd_in_flight %d\n", m.InFlight.Value())
 	for _, ep := range m.endpoints {

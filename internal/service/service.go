@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/store"
 )
 
 // ErrQueueFull is returned when the job queue has no room; callers should
@@ -53,6 +55,12 @@ type Options struct {
 	MaxNodes int
 	// MaxRuns bounds the Runs field of a /v1/spec request (default 2000).
 	MaxRuns int
+	// Store, when non-nil, is the durable second cache tier: a memory
+	// miss probes it before computing (read-through) and completed
+	// computations are persisted after waiters are released
+	// (write-behind). Results are deterministic functions of their
+	// canonical key, so a disk hit is byte-identical to a recompute.
+	Store *store.Store
 }
 
 // withDefaults fills unset fields.
@@ -101,6 +109,7 @@ type Service struct {
 	opts    Options
 	Metrics *Metrics
 	cache   *lruCache
+	store   *store.Store // nil when the durable tier is disabled
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -117,8 +126,12 @@ func New(opts Options) *Service {
 		opts:     opts,
 		Metrics:  NewMetrics("run", "spec"),
 		cache:    newLRUCache(opts.CacheEntries),
+		store:    opts.Store,
 		inflight: make(map[string]*flight),
 		jobs:     make(chan func(), opts.QueueDepth),
+	}
+	if s.store != nil {
+		s.Metrics.StoreBytes.Set(s.store.Bytes())
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -173,6 +186,12 @@ func (s *Service) result(ctx context.Context, timeout time.Duration, key string,
 		return v, nil
 	}
 	s.Metrics.CacheMisses.Inc()
+	if v, ok := s.storeGet(key); ok {
+		// Promote the disk hit so repeats stay in memory. Read-through
+		// does not write back: the record is already durable.
+		s.cache.Put(key, v)
+		return v, nil
+	}
 
 	s.mu.Lock()
 	if f, ok := s.inflight[key]; ok {
@@ -206,6 +225,14 @@ func (s *Service) result(ctx context.Context, timeout time.Duration, key string,
 		delete(s.inflight, key)
 		s.mu.Unlock()
 		close(f.done)
+		if f.err == nil {
+			// Write-behind: waiters are already released via f.done; the
+			// worker persists the record before taking its next job, so
+			// Close (which drains workers) doubles as a store flush
+			// barrier and in-flight dedup guarantees one disk write per
+			// key even under a stampede.
+			s.storePut(key, f.val)
+		}
 	}
 	select {
 	case s.jobs <- job:

@@ -1,0 +1,48 @@
+package service
+
+import "repro/internal/store"
+
+// This file adapts internal/store into the service's second cache tier.
+// Lookup order is memory LRU → disk store → compute; completed
+// computations are persisted write-behind by the worker that ran them.
+// Store failures are never fatal to a request: a bad read quarantines
+// the record and falls through to a recompute, a bad write only costs
+// durability of that one entry. Both are counted in StoreErrors.
+
+// storeGet probes the durable tier. ok reports a valid disk hit.
+func (s *Service) storeGet(key string) (*cached, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	e, ok, err := s.store.Get(key)
+	if err != nil {
+		// Corrupt or unreadable record: quarantined by the store; the
+		// caller recomputes.
+		s.Metrics.StoreErrors.Inc()
+		s.Metrics.StoreBytes.Set(s.store.Bytes())
+	}
+	if !ok {
+		return nil, false
+	}
+	s.Metrics.StoreHits.Inc()
+	return &cached{body: e.Body, contentType: e.ContentType, events: e.Events}, true
+}
+
+// storePut persists a finished result to the durable tier.
+func (s *Service) storePut(key string, v *cached) {
+	if s.store == nil {
+		return
+	}
+	err := s.store.Put(store.Entry{
+		Key:         key,
+		ContentType: v.contentType,
+		Events:      v.events,
+		Body:        v.body,
+	})
+	if err != nil {
+		s.Metrics.StoreErrors.Inc()
+	} else {
+		s.Metrics.StoreWrites.Inc()
+	}
+	s.Metrics.StoreBytes.Set(s.store.Bytes())
+}

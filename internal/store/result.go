@@ -1,0 +1,96 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// resultMagic frames raw core.Result snapshots. The service tier stores
+// serialized response bodies (Entry), not raw results; this codec is the
+// snapshot format for persisting the simulation output itself — per-node
+// trigger histories — which the streaming-output follow-up (ROADMAP)
+// needs and which golden fixtures exercise today. It shares the record
+// framing (header + CRC32C) with Entry records.
+const resultMagic = "HXS1"
+
+// EncodeResult serializes a result snapshot into a framed record:
+// the node count, each node's trigger history (length-prefixed int64
+// picosecond times), the executed event count, and the horizon. The
+// encoding is canonical and DecodeResult is its exact inverse, so
+// encode∘decode is the identity on valid records (FuzzStoreCodec
+// asserts this bijection).
+func EncodeResult(res *core.Result) []byte {
+	n := headerSize + 4 + 8 + 8
+	for _, ts := range res.Triggers {
+		n += 4 + 8*len(ts)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, resultMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n-headerSize))
+	buf = buf[:headerSize]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(res.Triggers)))
+	for _, ts := range res.Triggers {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ts)))
+		for _, t := range ts {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(t))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, res.Events)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(res.Horizon))
+	binary.LittleEndian.PutUint32(buf[8:12], crc32Checksum(buf[headerSize:]))
+	return buf
+}
+
+// DecodeResult parses a framed result snapshot. Length prefixes are
+// checked against the remaining input before any allocation, so a
+// corrupt count can never balloon memory; every failure wraps
+// ErrCorrupt.
+func DecodeResult(data []byte) (*core.Result, error) {
+	payload, err := checkFrame(data, resultMagic)
+	if err != nil {
+		return nil, err
+	}
+	r := reader{buf: payload}
+	nodes := r.uint32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Each node costs at least its 4-byte count; reject inflated node
+	// counts before allocating the outer slice.
+	if uint64(nodes) > uint64(len(r.buf))/4 {
+		return nil, fmt.Errorf("%w: node count %d exceeds payload", ErrCorrupt, nodes)
+	}
+	res := &core.Result{}
+	if nodes > 0 {
+		res.Triggers = make([][]sim.Time, nodes)
+	}
+	for i := range res.Triggers {
+		cnt := r.uint32()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if uint64(cnt) > uint64(len(r.buf))/8 {
+			return nil, fmt.Errorf("%w: trigger count %d exceeds payload", ErrCorrupt, cnt)
+		}
+		if cnt == 0 {
+			continue
+		}
+		ts := make([]sim.Time, cnt)
+		for j := range ts {
+			ts[j] = sim.Time(r.uint64())
+		}
+		res.Triggers[i] = ts
+	}
+	res.Events = r.uint64()
+	res.Horizon = sim.Time(r.uint64())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(r.buf))
+	}
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// simResult runs one real single-pulse simulation, mirroring the
+// service's /v1/run pipeline, so the codec is tested against genuine
+// trigger histories rather than synthetic ones.
+func simResult(t testing.TB, l, w int, sc source.Scenario, seed uint64) *core.Result {
+	t.Helper()
+	h, err := grid.NewHex(l, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.DefaultParams()
+	offsets := source.Offsets(sc, w, params.Bounds, sim.NewRNG(sim.DeriveSeed(seed, "offsets")))
+	res, err := core.Run(core.Config{
+		Graph:    h.Graph,
+		Params:   params,
+		Delay:    delay.Uniform{Bounds: params.Bounds},
+		Faults:   fault.NewPlan(h.NumNodes()),
+		Schedule: source.SinglePulse(offsets),
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// goldenResult is the exact configuration golden_test.go pins bit-wise
+// (50×20, scenario (iii), seed 424242): the canonical fixture for the
+// snapshot codec.
+func goldenResult(t testing.TB) *core.Result {
+	return simResult(t, 50, 20, source.UniformDPlus, 424242)
+}
+
+// resultsEqual compares two results treating nil and empty trigger
+// histories as the same (the codec canonicalizes count-0 to nil).
+func resultsEqual(a, b *core.Result) bool {
+	if a.Events != b.Events || a.Horizon != b.Horizon || len(a.Triggers) != len(b.Triggers) {
+		return false
+	}
+	for i := range a.Triggers {
+		if len(a.Triggers[i]) != len(b.Triggers[i]) {
+			return false
+		}
+		for j := range a.Triggers[i] {
+			if a.Triggers[i][j] != b.Triggers[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestResultCodecLosslessOnRealRuns round-trips real simulation results
+// — including the golden-test configuration — and demands bit-exact
+// trigger histories back.
+func TestResultCodecLosslessOnRealRuns(t *testing.T) {
+	cases := []*core.Result{
+		{},
+		{Triggers: [][]sim.Time{nil, {1, 2, 3}, {}}, Events: 9, Horizon: 77},
+		simResult(t, 10, 8, source.Zero, 7),
+		goldenResult(t),
+	}
+	for i, want := range cases {
+		data := EncodeResult(want)
+		got, err := DecodeResult(data)
+		if err != nil {
+			t.Fatalf("case %d: DecodeResult: %v", i, err)
+		}
+		if !resultsEqual(got, want) {
+			t.Fatalf("case %d: round trip lost information", i)
+		}
+		if again := EncodeResult(got); !bytes.Equal(again, data) {
+			t.Fatalf("case %d: re-encode differs from original encoding", i)
+		}
+	}
+}
+
+// TestDecodeResultRejectsCorruption spot-checks the snapshot decoder's
+// defenses; FuzzStoreCodec explores this space exhaustively.
+func TestDecodeResultRejectsCorruption(t *testing.T) {
+	valid := EncodeResult(simResult(t, 6, 8, source.Zero, 3))
+	for name, data := range map[string][]byte{
+		"empty":       {},
+		"truncated":   valid[:len(valid)/2],
+		"entry magic": append([]byte(entryMagic), valid[4:]...),
+		"trailing":    append(append([]byte(nil), valid...), 1),
+	} {
+		if _, err := DecodeResult(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	// A node count that promises more nodes than the payload can hold
+	// must be rejected by the bounds check before it allocates.
+	lying := append([]byte(nil), valid...)
+	lying[headerSize+3] = 0x7F // node count high byte → ~2 billion nodes
+	rebuildCRC(lying)
+	if _, err := DecodeResult(lying); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("inflated node count: err = %v, want ErrCorrupt", err)
+	}
+}

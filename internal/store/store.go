@@ -1,0 +1,290 @@
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrTooLarge is returned by Put when a single record exceeds the
+// store's byte budget; the entry is not stored.
+var ErrTooLarge = errors.New("store: record exceeds byte budget")
+
+const (
+	recordSuffix = ".rec"
+	tempSuffix   = ".tmp"
+	// QuarantineDir is the subdirectory corrupt records are moved into.
+	// They are kept (not deleted) so an operator can inspect what went
+	// wrong; nothing under it is ever read back.
+	QuarantineDir = "quarantine"
+)
+
+// Store is a disk-backed result store: one framed, checksummed record
+// per file, indexed in memory by canonical key, bounded by an on-disk
+// byte budget with LRU eviction. All methods are safe for concurrent
+// use. There is no background goroutine and nothing to close: every Put
+// is durable (fsync + atomic rename) before it returns.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // key → element holding *record
+	order   *list.List               // front = most recently used
+	bytes   int64
+	// quarantined counts records rejected at scan or read time since
+	// Open; exposed for tests and operator visibility.
+	quarantined uint64
+}
+
+// record is the index entry for one on-disk file.
+type record struct {
+	key  string
+	name string // file name within dir
+	size int64
+}
+
+// Open creates or recovers a store rooted at dir. maxBytes bounds the
+// total size of live records (<= 0 means unlimited). Recovery scans the
+// directory: leftover temp files from interrupted writes are deleted,
+// records that decode cleanly are indexed (oldest first, so pre-crash
+// recency survives approximately via mtime), and records that fail any
+// integrity check are moved to the quarantine subdirectory — a store
+// with arbitrarily mangled files always opens cleanly.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type found struct {
+		rec   record
+		mtime int64
+	}
+	var live []found
+	for _, de := range ents {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, tempSuffix):
+			// An interrupted Put never reached its rename; the final
+			// record (if any) is intact, the temp file is garbage.
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, recordSuffix):
+			e, err := s.readRecord(name)
+			if err != nil {
+				s.quarantine(name)
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			live = append(live, found{
+				rec:   record{key: e.Key, name: name, size: info.Size()},
+				mtime: info.ModTime().UnixNano(),
+			})
+		}
+	}
+	// Index oldest-first so the LRU back holds the stalest records.
+	sort.Slice(live, func(i, j int) bool { return live[i].mtime < live[j].mtime })
+	for _, f := range live {
+		rec := f.rec
+		if old, ok := s.entries[rec.key]; ok {
+			// Two files claiming one key cannot come from the write
+			// protocol; keep the newer, quarantine the older.
+			s.dropLocked(old, true)
+		}
+		s.entries[rec.key] = s.order.PushFront(&rec)
+		s.bytes += rec.size
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of live (indexed, non-quarantined) records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the total on-disk size of live records.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Quarantined returns the number of records rejected since Open.
+func (s *Store) Quarantined() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// Get returns the entry stored under key. ok reports whether a valid
+// entry was served. A record that fails integrity checks at read time —
+// truncated or rewritten behind the store's back — is quarantined and
+// reported as a miss with a non-nil error; the caller recomputes and the
+// bad bytes are never served.
+func (s *Store) Get(key string) (e Entry, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, found := s.entries[key]
+	if !found {
+		return Entry{}, false, nil
+	}
+	rec := el.Value.(*record)
+	e, err = s.readRecord(rec.name)
+	if err == nil && e.Key != key {
+		err = fmt.Errorf("%w: record holds key %q, index expected %q", ErrCorrupt, e.Key, key)
+	}
+	if err != nil {
+		s.dropLocked(el, true)
+		return Entry{}, false, err
+	}
+	s.order.MoveToFront(el)
+	return e, true, nil
+}
+
+// Put durably stores e under e.Key, replacing any previous record for
+// the key, then evicts least-recently-used records until the byte
+// budget holds again. The write is crash-safe: the record is written
+// and fsynced under a temporary name and renamed into place, so a kill
+// at any instant leaves either the old record or the new one, never a
+// torn file under the final name.
+func (s *Store) Put(e Entry) error {
+	data := EncodeEntry(e)
+	if s.maxBytes > 0 && int64(len(data)) > s.maxBytes {
+		return fmt.Errorf("%w: %d bytes > budget %d", ErrTooLarge, len(data), s.maxBytes)
+	}
+	name := recordName(e.Key)
+
+	tmp, err := os.CreateTemp(s.dir, "put-*"+tempSuffix)
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), filepath.Join(s.dir, name))
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	syncDir(s.dir)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[e.Key]; ok {
+		// The rename already replaced the file; fix the accounting.
+		rec := el.Value.(*record)
+		s.bytes += int64(len(data)) - rec.size
+		rec.size = int64(len(data))
+		s.order.MoveToFront(el)
+	} else {
+		s.entries[e.Key] = s.order.PushFront(&record{key: e.Key, name: name, size: int64(len(data))})
+		s.bytes += int64(len(data))
+	}
+	s.evictLocked()
+	return nil
+}
+
+// evictLocked removes least-recently-used records until bytes fits the
+// budget. Callers hold s.mu.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes {
+		oldest := s.order.Back()
+		if oldest == nil {
+			return
+		}
+		s.dropLocked(oldest, false)
+	}
+}
+
+// dropLocked removes a record from the index and from disk; quarantine
+// preserves the file for inspection instead of deleting it.
+func (s *Store) dropLocked(el *list.Element, quarantine bool) {
+	rec := el.Value.(*record)
+	s.order.Remove(el)
+	delete(s.entries, rec.key)
+	s.bytes -= rec.size
+	if quarantine {
+		s.quarantine(rec.name)
+	} else {
+		os.Remove(filepath.Join(s.dir, rec.name))
+	}
+}
+
+// quarantine moves a file into the quarantine subdirectory (best
+// effort: a file that cannot be moved is deleted so it can never be
+// indexed again).
+func (s *Store) quarantine(name string) {
+	s.quarantined++
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name)) == nil {
+			return
+		}
+	}
+	os.Remove(filepath.Join(s.dir, name))
+}
+
+// readRecord reads and decodes one record file by name.
+func (s *Store) readRecord(name string) (Entry, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return Entry{}, err
+	}
+	return DecodeEntry(data)
+}
+
+// recordName maps a key to its file name: the full SHA-256 of the key,
+// so distinct keys can never collide on disk and file names stay valid
+// regardless of what bytes the key contains. The key itself is embedded
+// in the record, so the mapping never needs to be inverted.
+func recordName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + recordSuffix
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Best effort: some platforms/filesystems reject directory fsync, and a
+// lost rename only costs a recompute.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
