@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json vet fmt cover repro examples clean
+.PHONY: all build test test-short race bench bench-json bench-compare fuzz vet fmt cover repro examples clean
 
 all: build test
 
@@ -19,9 +19,22 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Re-record the committed performance baseline from the two core benchmarks.
+BENCH_BASELINE ?= BENCH_4.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkPulsePropagation$$|BenchmarkMultiPulseStabilization$$' \
-		-benchmem -count=6 . | $(GO) run ./cmd/benchjson -out BENCH_2.json
+		-benchmem -count=6 . | $(GO) run ./cmd/benchjson -out $(BENCH_BASELINE)
+
+# Compare the current baseline against the previous one: a per-benchmark
+# delta table on ns/op, events/s, B/op, allocs/op, failing if any timing
+# metric regresses more than 5%.
+BENCH_OLD ?= BENCH_2.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -fail-above 5 $(BENCH_OLD) $(BENCH_BASELINE)
+
+# Differential-fuzz the event queues (calendar vs 4-ary heap vs
+# container/heap) beyond the committed seed corpus.
+fuzz:
+	$(GO) test -fuzz FuzzEventQueue -fuzztime 30s ./internal/sim
 
 race:
 	$(GO) test -race -short ./...

@@ -5,8 +5,10 @@ package core
 // slices per node, and the event queue's backing array — all garbage after
 // the run. Sweeps execute hundreds of such runs per configuration, so this
 // was the dominant source of GC pressure. An Arena keeps all of that
-// storage and re-initializes it per run; after a warm-up run on a given
-// topology, a run allocates only its compact Result snapshot.
+// storage — today the structure-of-arrays node/input slabs of soa.go, the
+// trigger accumulators, and the engine's calendar-ring buckets and
+// overflow heap — and re-initializes it per run; after a warm-up run on a
+// given topology, a run allocates only its compact Result snapshot.
 
 import "sync"
 

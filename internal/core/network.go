@@ -64,28 +64,6 @@ type Result struct {
 	Horizon sim.Time
 }
 
-// inputState tracks one incoming link's memory flag (Fig. 7b).
-type inputState struct {
-	mode fault.LinkMode
-	role grid.Role
-	set  bool
-	gen  uint32 // invalidates in-flight flag-expiry events
-}
-
-// nodeState is the runtime state of one forwarding node (Fig. 7a).
-type nodeState struct {
-	in       []inputState // parallel to Graph.In(n); backed by network.inArena
-	sleeping bool
-	wakeGen  uint32 // invalidates in-flight wake events
-	faulty   bool
-	isSource bool
-	// roleCnt[r] counts the currently effective inputs of role r: set
-	// memory flags on links that are not stuck-at-0. It is maintained
-	// incrementally on every flag transition so guard evaluation is
-	// O(guard pairs) instead of a rescan of all inputs.
-	roleCnt [grid.NumRoles]uint8
-}
-
 // Typed event kinds dispatched through the sim engine (no per-event
 // closure allocations on the hot path).
 const (
@@ -114,10 +92,21 @@ func (nw *network) Dispatch(kind uint8, a, b int64) {
 	}
 }
 
-// network binds a Config to a running engine. Its storage (node states,
-// input flags, trigger accumulators, engine queue) survives across runs
-// when driven through an Arena; build re-initializes every field, so a
-// reused network is observationally identical to a fresh one.
+// DispatchBatch implements sim.BatchDispatcher: the engine hands every run
+// of same-instant typed events here in one call, in exactly the order
+// repeated Dispatch calls would have seen them, amortizing the engine's
+// per-event loop overhead across the batch.
+func (nw *network) DispatchBatch(at sim.Time, evs []sim.EventRec) {
+	for i := range evs {
+		ev := &evs[i]
+		nw.Dispatch(ev.Kind, ev.A, ev.B)
+	}
+}
+
+// network binds a Config to a running engine. Its storage (the SoA node
+// and input slabs of soa.go, trigger accumulators, engine queue) survives
+// across runs when driven through an Arena; build re-initializes every
+// field, so a reused network is observationally identical to a fresh one.
 type network struct {
 	cfg      Config
 	eng      sim.Engine
@@ -125,11 +114,15 @@ type network struct {
 	rngDelay sim.RNG
 	rngTimer sim.RNG
 	rngInit  sim.RNG
-	nodes    []nodeState
-	inArena  []inputState // flat backing array for nodes[i].in
+	// Structure-of-arrays simulation state; see soa.go for the layout.
+	cells    []nodeCell
+	wakeGen  []uint32
+	inOff    []int32
+	inBits   []uint8
+	inGen    []uint32
 	triggers [][]sim.Time // arena-owned accumulators, snapshot into Result
-	// lastGraph remembers which topology the per-node storage is sliced
-	// for; a run on a different *grid.Graph re-slices from scratch.
+	// lastGraph remembers which topology the slabs are sized for; a run on
+	// a different *grid.Graph re-slices from scratch.
 	lastGraph *grid.Graph
 }
 
@@ -155,6 +148,7 @@ func (nw *network) run(cfg Config) (*Result, error) {
 	nw.cfg = cfg
 	nw.g = cfg.Graph
 	nw.eng.Reset()
+	nw.eng.SetHorizonHint(cfg.Params.MaxEventDelta())
 	nw.rngDelay.Reseed(sim.DeriveSeed(cfg.Seed, "delay"))
 	nw.rngTimer.Reseed(sim.DeriveSeed(cfg.Seed, "timer"))
 	nw.rngInit.Reseed(sim.DeriveSeed(cfg.Seed, "init"))
@@ -229,50 +223,53 @@ func (nw *network) autoHorizon() sim.Time {
 	return nw.cfg.Schedule.End() + slack + p.TSleepMax + p.TLinkMax
 }
 
-// build initializes node states, static stuck-at-1 inputs, the layer-0
+// build initializes the state slabs, static stuck-at-1 inputs, the layer-0
 // schedule, random initial states, and the time-0 guard checks. On a reused
-// network it re-initializes every field of the retained storage instead of
-// allocating; only a topology change (different *grid.Graph) re-slices.
+// network it re-initializes every slab entry of the retained storage
+// instead of allocating; only a topology change (different *grid.Graph)
+// re-slices.
 func (nw *network) build() {
 	g := nw.g
 	n := g.NumNodes()
 	plan := nw.cfg.Faults
 
 	if nw.lastGraph != g {
-		nw.nodes = make([]nodeState, n)
+		nw.cells = make([]nodeCell, n)
+		nw.wakeGen = make([]uint32, n)
+		nw.inOff = make([]int32, n+1)
 		totalIn := 0
 		for id := 0; id < n; id++ {
+			nw.inOff[id] = int32(totalIn)
 			totalIn += len(g.In(id))
 		}
-		nw.inArena = make([]inputState, totalIn)
-		pos := 0
-		for id := 0; id < n; id++ {
-			d := len(g.In(id))
-			nw.nodes[id].in = nw.inArena[pos : pos+d : pos+d]
-			pos += d
-		}
+		nw.inOff[n] = int32(totalIn)
+		nw.inBits = make([]uint8, totalIn)
+		nw.inGen = make([]uint32, totalIn)
 		nw.triggers = make([][]sim.Time, n)
 		nw.lastGraph = g
 	}
 
 	for id := 0; id < n; id++ {
-		st := &nw.nodes[id]
-		st.sleeping = false
-		st.wakeGen = 0
-		st.roleCnt = [grid.NumRoles]uint8{}
-		st.faulty = plan.IsFaulty(id)
-		st.isSource = g.LayerOf(id) == 0
+		cell := &nw.cells[id]
+		*cell = nodeCell{}
+		nw.wakeGen[id] = 0
+		if plan.IsFaulty(id) {
+			cell.flags |= nodeFaulty
+		}
+		if g.LayerOf(id) == 0 {
+			cell.flags |= nodeSource
+		}
 		links := g.In(id)
-		for i := range st.in {
-			in := &st.in[i]
-			in.role = links[i].Role
-			in.mode = plan.Link(links[i].From, id)
-			in.gen = 0
-			in.set = false
-			if in.mode == fault.LinkStuck1 {
-				in.set = true // permanently high input
-				st.roleCnt[in.role]++
+		base := int(nw.inOff[id])
+		for i := range links {
+			mode := plan.Link(links[i].From, id)
+			bits := inputBits(mode, links[i].Role)
+			if mode == fault.LinkStuck1 {
+				bits |= inSetBit // permanently high input
+				cell.roleCnt[links[i].Role]++
 			}
+			nw.inBits[base+i] = bits
+			nw.inGen[base+i] = 0
 		}
 		nw.triggers[id] = nw.triggers[id][:0]
 	}
@@ -282,7 +279,7 @@ func (nw *network) build() {
 	for k := range nw.cfg.Schedule.Times {
 		for c, at := range nw.cfg.Schedule.Times[k] {
 			id := layer0[c]
-			if nw.nodes[id].faulty {
+			if nw.cells[id].flags&nodeFaulty != 0 {
 				continue
 			}
 			nw.eng.ScheduleEvent(at, evSourceFire, int64(id), 0)
@@ -291,8 +288,7 @@ func (nw *network) build() {
 
 	// Initial states of forwarding nodes.
 	for id := 0; id < n; id++ {
-		st := &nw.nodes[id]
-		if st.isSource || st.faulty {
+		if nw.cells[id].flags&(nodeSource|nodeFaulty) != 0 {
 			continue
 		}
 		if nw.cfg.RandomInit {
@@ -308,48 +304,48 @@ func (nw *network) build() {
 // machines: either asleep with an arbitrary residual sleep time, or awake
 // with arbitrary memory flags carrying arbitrary residual link timers.
 func (nw *network) randomizeState(id int) {
-	st := &nw.nodes[id]
 	p := nw.cfg.Params
 	if nw.rngInit.Bool() {
-		st.sleeping = true
+		nw.cells[id].flags |= nodeSleeping
 		nw.eng.ScheduleEvent(nw.rngInit.TimeIn(0, p.TSleepMax),
-			evWake, int64(id), int64(st.wakeGen))
+			evWake, int64(id), int64(nw.wakeGen[id]))
 		// The flags may additionally hold arbitrary values; they will be
 		// cleared on wake-up anyway, but can matter if timers expire first.
 	}
-	for i := range st.in {
-		if st.in[i].mode != fault.LinkCorrect {
+	lo, hi := int(nw.inOff[id]), int(nw.inOff[id+1])
+	for slot := lo; slot < hi; slot++ {
+		if modeOf(nw.inBits[slot]) != fault.LinkCorrect {
 			continue
 		}
 		if !nw.rngInit.Bool() {
 			continue
 		}
-		nw.setFlag(st, i)
+		nw.setFlag(id, slot)
 		if p.LinkTimersEnabled() {
 			residual := nw.rngInit.TimeIn(0, p.TLinkMax)
 			nw.eng.ScheduleEvent(residual, evExpire,
-				int64(id), int64(i)|int64(st.in[i].gen)<<32)
+				int64(id), int64(slot-lo)|int64(nw.inGen[slot])<<32)
 		}
 	}
 }
 
-// setFlag sets input i's memory flag and maintains the role counters. The
-// flag must currently be clear.
-func (nw *network) setFlag(st *nodeState, i int) {
-	in := &st.in[i]
-	in.set = true
-	if in.mode != fault.LinkStuck0 {
-		st.roleCnt[in.role]++
+// setFlag sets input slot's memory flag and maintains node id's role
+// counters. The flag must currently be clear.
+func (nw *network) setFlag(id, slot int) {
+	bits := nw.inBits[slot]
+	nw.inBits[slot] = bits | inSetBit
+	if modeOf(bits) != fault.LinkStuck0 {
+		nw.cells[id].roleCnt[roleOf(bits)]++
 	}
 }
 
-// clearFlag clears input i's memory flag and maintains the role counters.
-// The flag must currently be set.
-func (nw *network) clearFlag(st *nodeState, i int) {
-	in := &st.in[i]
-	in.set = false
-	if in.mode != fault.LinkStuck0 {
-		st.roleCnt[in.role]--
+// clearFlag clears input slot's memory flag and maintains node id's role
+// counters. The flag must currently be set.
+func (nw *network) clearFlag(id, slot int) {
+	bits := nw.inBits[slot]
+	nw.inBits[slot] = bits &^ inSetBit
+	if modeOf(bits) != fault.LinkStuck0 {
+		nw.cells[id].roleCnt[roleOf(bits)]--
 	}
 }
 
@@ -396,27 +392,29 @@ func (nw *network) deliver(from, to, idx int) {
 }
 
 // deliverAccept updates the receiver's flag state and reports whether the
-// message was memorized.
+// message was memorized. The fast path reads one nodeCell byte and one
+// input byte: a correct, clear input has both mode bits and the set bit at
+// zero, so eligibility is a single mask test.
 func (nw *network) deliverAccept(to, idx int) bool {
-	st := &nw.nodes[to]
-	if st.faulty || st.isSource {
+	if nw.cells[to].flags&(nodeFaulty|nodeSource) != 0 {
 		return false
 	}
-	in := &st.in[idx]
-	if in.mode != fault.LinkCorrect {
+	slot := int(nw.inOff[to]) + idx
+	bits := nw.inBits[slot]
+	if bits&(inModeMask|inSetBit) != 0 {
+		// Either a non-correct link, or the Fig. 7b flag machine is already
+		// in "memorize"; a further trigger neither restarts the timer nor
+		// changes state.
 		return false
 	}
-	if in.set {
-		// The Fig. 7b flag machine is already in "memorize"; a further
-		// trigger neither restarts the timer nor changes state.
-		return false
-	}
-	nw.setFlag(st, idx)
-	in.gen++
+	nw.inBits[slot] = bits | inSetBit
+	nw.cells[to].roleCnt[roleOf(bits)]++ // mode is LinkCorrect, counts
+	gen := nw.inGen[slot] + 1
+	nw.inGen[slot] = gen
 	if nw.cfg.Params.LinkTimersEnabled() {
 		dur := nw.rngTimer.TimeIn(nw.cfg.Params.TLinkMin, nw.cfg.Params.TLinkMax)
 		nw.eng.ScheduleEventAfter(dur, evExpire,
-			int64(to), int64(idx)|int64(in.gen)<<32)
+			int64(to), int64(idx)|int64(gen)<<32)
 	}
 	return true
 }
@@ -424,13 +422,13 @@ func (nw *network) deliverAccept(to, idx int) bool {
 // expireFlag clears a memory flag when its link timer fires, unless the
 // flag has been cleared and re-set since the timer started.
 func (nw *network) expireFlag(id, idx int, gen uint32) {
-	st := &nw.nodes[id]
-	in := &st.in[idx]
-	if in.gen != gen || in.mode == fault.LinkStuck1 {
+	slot := int(nw.inOff[id]) + idx
+	bits := nw.inBits[slot]
+	if nw.inGen[slot] != gen || modeOf(bits) == fault.LinkStuck1 {
 		return
 	}
-	if in.set {
-		nw.clearFlag(st, idx)
+	if bits&inSetBit != 0 {
+		nw.clearFlag(id, slot)
 	}
 	if nw.cfg.Trace != nil {
 		nw.cfg.Trace.FlagExpire(id, idx, nw.eng.Now())
@@ -438,20 +436,21 @@ func (nw *network) expireFlag(id, idx int, gen uint32) {
 }
 
 // guardSatisfied evaluates the firing guard against the incrementally
-// maintained per-role counters: O(guard pairs), no input rescan.
+// maintained per-role counters in the node's cell: O(guard pairs), no
+// input rescan, one contiguous load.
 func (nw *network) guardSatisfied(id int) bool {
-	st := &nw.nodes[id]
+	cnt := &nw.cells[id].roleCnt
 	switch nw.cfg.Params.Guard {
 	case GuardAdjacent:
 		for _, pair := range nw.g.GuardPairs() {
-			if st.roleCnt[pair[0]] > 0 && st.roleCnt[pair[1]] > 0 {
+			if cnt[pair[0]] > 0 && cnt[pair[1]] > 0 {
 				return true
 			}
 		}
 		return false
 	case GuardAnyTwo:
 		count := 0
-		for _, c := range st.roleCnt {
+		for _, c := range cnt {
 			if c > 0 {
 				count++
 			}
@@ -463,10 +462,11 @@ func (nw *network) guardSatisfied(id int) bool {
 }
 
 // checkFire triggers the node if it is awake and its guard holds
-// (ready → firing → sleeping in Fig. 7a).
+// (ready → firing → sleeping in Fig. 7a). Any set flag bit — sleeping,
+// faulty, or source — disqualifies the node, so the not-ready test is one
+// byte compare.
 func (nw *network) checkFire(id int) {
-	st := &nw.nodes[id]
-	if st.sleeping || st.faulty || st.isSource {
+	if nw.cells[id].flags != 0 {
 		return
 	}
 	if !nw.guardSatisfied(id) {
@@ -474,31 +474,33 @@ func (nw *network) checkFire(id int) {
 	}
 	nw.recordTrigger(id, false)
 	nw.broadcast(id)
-	st.sleeping = true
-	st.wakeGen++
+	nw.cells[id].flags |= nodeSleeping
+	gen := nw.wakeGen[id] + 1
+	nw.wakeGen[id] = gen
 	if nw.cfg.Trace != nil {
 		nw.cfg.Trace.Sleep(id, nw.eng.Now())
 	}
 	dur := nw.rngTimer.TimeIn(nw.cfg.Params.TSleepMin, nw.cfg.Params.TSleepMax)
-	nw.eng.ScheduleEventAfter(dur, evWake, int64(id), int64(st.wakeGen))
+	nw.eng.ScheduleEventAfter(dur, evWake, int64(id), int64(gen))
 }
 
 // wake ends the sleep phase, forgetting all previously received trigger
-// messages (the boxed flag-clearing transition of Fig. 7a).
+// messages (the boxed flag-clearing transition of Fig. 7a). The flag sweep
+// is a contiguous scan of the node's input bytes.
 func (nw *network) wake(id int, gen uint32) {
-	st := &nw.nodes[id]
-	if st.wakeGen != gen {
+	if nw.wakeGen[id] != gen {
 		return
 	}
-	st.sleeping = false
-	for i := range st.in {
-		if st.in[i].mode == fault.LinkStuck1 {
+	nw.cells[id].flags &^= nodeSleeping
+	for slot := int(nw.inOff[id]); slot < int(nw.inOff[id+1]); slot++ {
+		bits := nw.inBits[slot]
+		if modeOf(bits) == fault.LinkStuck1 {
 			continue // a constant-1 input re-sets its flag immediately
 		}
-		if st.in[i].set {
-			nw.clearFlag(st, i)
+		if bits&inSetBit != 0 {
+			nw.clearFlag(id, slot)
 		}
-		st.in[i].gen++
+		nw.inGen[slot]++
 	}
 	if nw.cfg.Trace != nil {
 		nw.cfg.Trace.Wake(id, nw.eng.Now())

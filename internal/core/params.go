@@ -61,6 +61,21 @@ type Params struct {
 // LinkTimersEnabled reports whether memory flags expire on their own.
 func (p Params) LinkTimersEnabled() bool { return p.TLinkMax > 0 }
 
+// MaxEventDelta reports the largest scheduling delta of the algorithm's
+// *frequent* events: link delays and link-timer expiries. It sizes the
+// engine's calendar-queue window (sim.Engine.SetHorizonHint) so the hot
+// event classes stay bucket-resident. Sleep timers are deliberately
+// excluded — they are orders of magnitude longer, rare per node, and belong
+// in the queue's far-future overflow tier; including them would stretch the
+// bucket width until every in-flight delivery shared a bucket.
+func (p Params) MaxEventDelta() sim.Time {
+	d := p.Bounds.Max
+	if p.LinkTimersEnabled() && p.TLinkMax > d {
+		d = p.TLinkMax
+	}
+	return d
+}
+
 // Validate checks parameter consistency.
 func (p Params) Validate() error {
 	if err := p.Bounds.Validate(); err != nil {

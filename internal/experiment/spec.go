@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -82,6 +83,11 @@ type RunOut struct {
 	Plan *fault.Plan
 	Res  *core.Result
 	Wave *analysis.Wave
+	// Elapsed is the wall time of the simulation itself (excluding
+	// topology construction and wave analysis). Together with Res.Events
+	// it gives a per-run events/s throughput; hexd aggregates these into
+	// its hexd_events_per_sec gauge.
+	Elapsed time.Duration
 }
 
 // runSeed derives the master seed of run idx of a spec.
@@ -144,6 +150,7 @@ func runOnGrid(ctx context.Context, s Spec, h *grid.Hex, idx int) (*RunOut, erro
 	}
 
 	a := arenas.Get().(*core.Arena)
+	start := time.Now()
 	res, err := a.Run(core.Config{
 		Graph:    h.Graph,
 		Params:   s.Params,
@@ -153,15 +160,17 @@ func runOnGrid(ctx context.Context, s Spec, h *grid.Hex, idx int) (*RunOut, erro
 		Seed:     seed,
 		Context:  ctx,
 	})
+	elapsed := time.Since(start)
 	arenas.Put(a)
 	if err != nil {
 		return nil, err
 	}
 	return &RunOut{
-		Hex:  h,
-		Plan: plan,
-		Res:  res,
-		Wave: analysis.WaveFromResult(h.Graph, res, plan, 0),
+		Hex:     h,
+		Plan:    plan,
+		Res:     res,
+		Wave:    analysis.WaveFromResult(h.Graph, res, plan, 0),
+		Elapsed: elapsed,
 	}, nil
 }
 

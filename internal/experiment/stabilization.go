@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -71,6 +72,11 @@ type StabOut struct {
 	Hex  *grid.Hex
 	Plan *fault.Plan
 	PA   *analysis.PulseAssignment
+	// Events is the simulation's executed event count and Elapsed its
+	// wall time, kept here because the PulseAssignment does not retain
+	// the raw core.Result. They feed hexd's throughput metrics.
+	Events  uint64
+	Elapsed time.Duration
 }
 
 func (s StabSpec) runSeed(idx int) uint64 {
@@ -127,6 +133,7 @@ func stabRunOnGrid(ctx context.Context, s StabSpec, h *grid.Hex, idx int) (*Stab
 	}
 
 	a := arenas.Get().(*core.Arena)
+	start := time.Now()
 	res, err := a.Run(core.Config{
 		Graph:      h.Graph,
 		Params:     params,
@@ -137,14 +144,17 @@ func stabRunOnGrid(ctx context.Context, s StabSpec, h *grid.Hex, idx int) (*Stab
 		Seed:       seed,
 		Context:    ctx,
 	})
+	elapsed := time.Since(start)
 	arenas.Put(a)
 	if err != nil {
 		return nil, err
 	}
 	return &StabOut{
-		Hex:  h,
-		Plan: plan,
-		PA:   analysis.AssignPulses(h.Graph, res, plan, sched, s.Bounds),
+		Hex:     h,
+		Plan:    plan,
+		PA:      analysis.AssignPulses(h.Graph, res, plan, sched, s.Bounds),
+		Events:  res.Events,
+		Elapsed: elapsed,
 	}, nil
 }
 

@@ -103,6 +103,12 @@ type Metrics struct {
 	// QueueDepth and InFlight are instantaneous occupancy gauges;
 	// StoreBytes tracks the on-disk size of live store records.
 	QueueDepth, InFlight, StoreBytes *Gauge
+	// EventsPerSec is the simulation throughput (events per second of
+	// wall time) of the most recent completed computation — a sweep
+	// reports the aggregate across its runs. It is a health signal for
+	// the simulation hot loop: a sustained drop flags a performance
+	// regression even while request latencies hide it behind caching.
+	EventsPerSec *Gauge
 
 	endpoints []string
 }
@@ -125,6 +131,7 @@ func NewMetrics(endpoints ...string) *Metrics {
 		QueueDepth:       &Gauge{},
 		InFlight:         &Gauge{},
 		StoreBytes:       &Gauge{},
+		EventsPerSec:     &Gauge{},
 		endpoints:        append([]string(nil), endpoints...),
 	}
 	sort.Strings(m.endpoints)
@@ -133,6 +140,19 @@ func NewMetrics(endpoints ...string) *Metrics {
 		m.Latency[ep] = newHistogram(defLatencyBounds)
 	}
 	return m
+}
+
+// RecordThroughput sets EventsPerSec from an executed-event count and the
+// simulation wall time that produced it. For sweeps, pass the sum of the
+// per-run elapsed times rather than the sweep's wall time, so the gauge
+// reads as per-worker hot-loop throughput regardless of parallelism.
+// Zero-event or sub-resolution measurements are dropped rather than
+// recorded as zero.
+func (m *Metrics) RecordThroughput(events uint64, elapsed time.Duration) {
+	if events == 0 || elapsed <= 0 {
+		return
+	}
+	m.EventsPerSec.Set(int64(float64(events) / elapsed.Seconds()))
 }
 
 // WriteText renders the registry in the Prometheus text exposition format.
@@ -147,6 +167,7 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "hexd_deadline_exceeded_total %d\n", m.DeadlineExceeded.Value())
 	fmt.Fprintf(w, "hexd_sim_runs_total %d\n", m.SimRuns.Value())
 	fmt.Fprintf(w, "hexd_sim_events_total %d\n", m.SimEvents.Value())
+	fmt.Fprintf(w, "hexd_events_per_sec %d\n", m.EventsPerSec.Value())
 	fmt.Fprintf(w, "hexd_store_hits_total %d\n", m.StoreHits.Value())
 	fmt.Fprintf(w, "hexd_store_writes_total %d\n", m.StoreWrites.Value())
 	fmt.Fprintf(w, "hexd_store_errors_total %d\n", m.StoreErrors.Value())

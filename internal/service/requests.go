@@ -163,6 +163,7 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*cached, error)
 	params := core.DefaultParams()
 	offsets := source.Offsets(r.scenario, r.W, params.Bounds,
 		sim.NewRNG(sim.DeriveSeed(r.Seed, "offsets")))
+	start := time.Now()
 	res, err := core.Run(core.Config{
 		Graph:    h.Graph,
 		Params:   params,
@@ -175,6 +176,7 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*cached, error)
 	s.Metrics.SimRuns.Inc()
 	if res != nil {
 		s.Metrics.SimEvents.Add(res.Events)
+		s.Metrics.RecordThroughput(res.Events, time.Since(start))
 	}
 	if err != nil {
 		return nil, err
@@ -302,10 +304,13 @@ func (s *Service) computeSpec(ctx context.Context, r SpecRequest) (*cached, erro
 		return nil, err
 	}
 	var events uint64
+	var simTime time.Duration
 	for _, o := range outs {
 		events += o.Res.Events
+		simTime += o.Elapsed
 	}
 	s.Metrics.SimEvents.Add(events)
+	s.Metrics.RecordThroughput(events, simTime)
 	intra, inter := experiment.CollectSkews(outs, r.ExcludeHops)
 	resp := SpecResponse{
 		L: r.L, W: r.W, Scenario: r.Scenario, Faults: r.Faults,

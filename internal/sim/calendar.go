@@ -1,0 +1,276 @@
+package sim
+
+import "slices"
+
+// Bounded-horizon calendar queue.
+//
+// The simulation workload has a structural property a comparison heap cannot
+// exploit: almost every event is scheduled within a small, known horizon of
+// now — link delays fall in [d−, d+] and link timers in [T−, T+] — while the
+// few that are not (sleep timers, layer-0 schedules, MaxTime sentinels) are
+// *far* in the future. calendarQueue splits pending events accordingly:
+//
+//   - a ring of calBuckets buckets, each spanning 2^shift picoseconds of
+//     simulated time, holds every event within the ring's window
+//     [cursor, cursor+calBuckets) (in bucket-time units). Push appends to
+//     the target bucket; pop advances the cursor to the first non-empty
+//     bucket and consumes its sorted run front-to-back, so both are O(1)
+//     amortized with contiguous memory traffic.
+//   - everything beyond the window overflows into the retained 4-ary heap
+//     (eventQueue) and migrates into the ring as the cursor approaches, so
+//     a far-future event costs one heap round trip regardless of how long
+//     it stays pending.
+//
+// Invariants (I1) every live ring event has bucketOf(at) in
+// [cursor, cursor+calBuckets); (I2) every overflow event has bucketOf(at) >=
+// cursor+calBuckets; (I3) within a bucket, items[head:sorted] is ascending
+// by (at, seq) and items[sorted:] holds unsorted appends. The cursor never
+// moves backward except through pushSlow, which rebuilds the ring to
+// re-establish (I1) and (I2) around the new window.
+//
+// The pop order is strictly ascending (at, seq) — bit-identical to the
+// heap's, because keys are unique and both structures realize the same
+// total order; bucketing by at and sorting runs by (at, seq) cannot change
+// a total order it refines. The golden tests and the three-way differential
+// fuzz harness in queue_fuzz_test.go pin this.
+
+const (
+	calBuckets = 256 // ring size; power of two
+	calMask    = calBuckets - 1
+	// defaultCalShift is the log2 bucket width (in picoseconds) used when
+	// the engine received no SetHorizonHint: ~4.1 ns buckets, ~1 µs span.
+	defaultCalShift = 12
+	// calSortThreshold is the appended-run length above which ensureSorted
+	// switches from insertion sort (ideal for the nearly-sorted runs the
+	// simulator produces) to pdqsort.
+	calSortThreshold = 24
+)
+
+// calBucket is one slot of the ring. Consumed items are zeroed so closures
+// scheduled through Engine.Schedule don't outlive their execution.
+type calBucket struct {
+	items  []event
+	head   int // items[:head] are consumed (zeroed)
+	sorted int // items[head:sorted] is ascending by (at, seq)
+}
+
+// clear empties the bucket, keeping its backing array.
+func (b *calBucket) clear() {
+	for i := b.head; i < len(b.items); i++ {
+		b.items[i] = event{}
+	}
+	b.items = b.items[:0]
+	b.head = 0
+	b.sorted = 0
+}
+
+// ensureSorted extends the sorted run over any unsorted appends. Appends
+// arrive in seq order, and at values within one bucket are nearly monotone
+// in practice (same-instant bursts are already sorted), so insertion sort
+// is O(n + inversions); large disordered runs fall back to pdqsort.
+func (b *calBucket) ensureSorted() {
+	n := len(b.items)
+	if b.sorted >= n {
+		return
+	}
+	if n-b.sorted > calSortThreshold {
+		slices.SortFunc(b.items[b.head:], func(a, c event) int {
+			if before(&a, &c) {
+				return -1
+			}
+			return 1
+		})
+	} else {
+		for i := b.sorted; i < n; i++ {
+			e := b.items[i]
+			j := i - 1
+			for j >= b.head && before(&e, &b.items[j]) {
+				b.items[j+1] = b.items[j]
+				j--
+			}
+			b.items[j+1] = e
+		}
+	}
+	b.sorted = n
+}
+
+// calendarQueue is the engine's event queue: a calendar ring over the near
+// horizon backed by the 4-ary heap for far-future events.
+type calendarQueue struct {
+	shift    uint  // log2 bucket width in picoseconds; 0 means "unset"
+	cursor   int64 // bucket-time index the window starts at
+	ringLen  int   // live events in the ring
+	buckets  [calBuckets]calBucket
+	overflow eventQueue // far-future tier; also the fuzz reference impl
+	spill    []event    // scratch for pushSlow window rebuilds
+}
+
+// Len reports the number of pending events.
+func (q *calendarQueue) Len() int { return q.ringLen + q.overflow.Len() }
+
+// bucketOf maps an instant to its bucket-time index.
+func (q *calendarQueue) bucketOf(at Time) int64 { return int64(at) >> q.shift }
+
+// setHorizon sizes the ring so that events within delta of now are always
+// bucket-resident: the window spans at least 2*delta. It must be called on
+// an empty queue (sizing is per run; Engine.Reset keeps it).
+func (q *calendarQueue) setHorizon(delta Time) {
+	if q.Len() != 0 {
+		panic("sim: horizon hint on a non-empty queue")
+	}
+	shift := uint(1)
+	for (int64(calBuckets) << shift) < 2*int64(delta) {
+		shift++
+	}
+	q.shift = shift
+	q.cursor = 0
+}
+
+// push inserts e into the ring or, beyond the window, the overflow heap.
+func (q *calendarQueue) push(e event) {
+	if q.shift == 0 {
+		q.shift = defaultCalShift
+	}
+	b := q.bucketOf(e.at)
+	switch {
+	case b < q.cursor:
+		q.pushSlow(e, b)
+		return
+	case b-q.cursor >= calBuckets:
+		q.overflow.push(e)
+		return
+	}
+	bk := &q.buckets[b&calMask]
+	bk.items = append(bk.items, e)
+	q.ringLen++
+}
+
+// pushSlow handles a push behind the window start. The engine never does
+// this mid-run (events are scheduled at or after now, and the cursor never
+// passes now's bucket while events remain there); it happens only when a
+// queue is refilled after draining or after a horizon-limited Run, so the
+// O(ring) rebuild is off the hot path.
+func (q *calendarQueue) pushSlow(e event, b int64) {
+	q.spill = q.spill[:0]
+	for i := range q.buckets {
+		bk := &q.buckets[i]
+		q.spill = append(q.spill, bk.items[bk.head:]...)
+		bk.clear()
+	}
+	q.ringLen = 0
+	q.cursor = b
+	q.place(e)
+	for _, ev := range q.spill {
+		q.place(ev)
+	}
+	for i := range q.spill {
+		q.spill[i] = event{}
+	}
+}
+
+// place inserts an event relative to the current window; the caller
+// guarantees bucketOf(e.at) >= cursor.
+func (q *calendarQueue) place(e event) {
+	b := q.bucketOf(e.at)
+	if b-q.cursor >= calBuckets {
+		q.overflow.push(e)
+		return
+	}
+	bk := &q.buckets[b&calMask]
+	bk.items = append(bk.items, e)
+	q.ringLen++
+}
+
+// migrate pulls overflow events whose bucket has entered the window into
+// the ring, maintaining (I2).
+func (q *calendarQueue) migrate() {
+	lim := q.cursor + calBuckets
+	for q.overflow.Len() > 0 && q.bucketOf(q.overflow.peekTime()) < lim {
+		q.place(q.overflow.pop())
+	}
+}
+
+// settle positions the cursor at the bucket holding the earliest event,
+// sorts that bucket's pending run, and returns it. The queue must not be
+// empty. Empty-bucket scanning is amortized: the cursor only moves forward
+// (one full window traversal per window's worth of simulated time), and a
+// window jump lands exactly on the overflow minimum's bucket.
+func (q *calendarQueue) settle() *calBucket {
+	if q.ringLen == 0 {
+		// All pending events are far-future: jump the window to them.
+		q.cursor = q.bucketOf(q.overflow.peekTime())
+		q.migrate()
+	}
+	for scanned := 0; ; scanned++ {
+		q.migrate()
+		bk := &q.buckets[q.cursor&calMask]
+		if bk.head < len(bk.items) {
+			bk.ensureSorted()
+			return bk
+		}
+		if scanned > calBuckets {
+			panic("sim: calendar ring invariant violated (event outside window)")
+		}
+		q.cursor++
+	}
+}
+
+// peekTime returns the time of the earliest event without removing it.
+func (q *calendarQueue) peekTime() Time {
+	bk := q.settle()
+	return bk.items[bk.head].at
+}
+
+// pop removes and returns the earliest event. It panics on an empty queue;
+// callers must check Len first.
+func (q *calendarQueue) pop() event {
+	bk := q.settle()
+	e := bk.items[bk.head]
+	bk.items[bk.head] = event{}
+	bk.head++
+	if bk.head == len(bk.items) {
+		bk.clear()
+	}
+	q.ringLen--
+	return e
+}
+
+// popBatchTyped pops up to max consecutive typed (fn == nil) events sharing
+// the earliest pending timestamp, appending their payloads to dst. Events
+// at one instant share a bucket and, after sorting, form a contiguous run,
+// so the batch is a straight scan. It returns the extended slice and the
+// shared timestamp; an empty batch (timestamp of a closure event) leaves
+// the queue untouched.
+func (q *calendarQueue) popBatchTyped(dst []EventRec, max int) ([]EventRec, Time) {
+	bk := q.settle()
+	at := bk.items[bk.head].at
+	i := bk.head
+	end := len(bk.items)
+	for i < end && len(dst) < max {
+		e := &bk.items[i]
+		if e.at != at || e.fn != nil {
+			break
+		}
+		dst = append(dst, EventRec{Kind: e.kind, A: e.a, B: e.b})
+		*e = event{}
+		i++
+	}
+	q.ringLen -= i - bk.head
+	bk.head = i
+	if bk.head == len(bk.items) {
+		bk.clear()
+	}
+	return dst, at
+}
+
+// reset empties the queue while keeping its backing arrays (ring buckets,
+// overflow heap, spill scratch) for reuse. Bucket sizing is retained; a run
+// with a different horizon re-sizes via setHorizon.
+func (q *calendarQueue) reset() {
+	for i := range q.buckets {
+		q.buckets[i].clear()
+	}
+	q.ringLen = 0
+	q.cursor = 0
+	q.overflow.reset()
+}

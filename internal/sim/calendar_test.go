@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCalendarWindowRebuild drives the pushSlow path explicitly: fill the
+// ring, drain it past the first events' buckets, then push behind the
+// cursor (legal at queue level — only the engine enforces at >= now) and
+// check the total order survives the window rebuild.
+func TestCalendarWindowRebuild(t *testing.T) {
+	var q calendarQueue
+	q.setHorizon(1 << 10) // 8 ps buckets: small window, easy to overrun
+	var seq uint64
+	push := func(at Time) {
+		q.push(event{at: at, seq: seq})
+		seq++
+	}
+	for i := 0; i < 50; i++ {
+		push(Time(10_000 + i*37))
+	}
+	for i := 0; i < 10; i++ {
+		q.pop()
+	}
+	// Far-future events (overflow tier) and then a push behind the cursor.
+	push(1 << 40)
+	push(1 << 39)
+	push(3) // behind the cursor: triggers the ring rebuild
+	last := Time(-1)
+	n := q.Len()
+	for i := 0; i < n; i++ {
+		e := q.pop()
+		if e.at < last {
+			t.Fatalf("pop went backwards: %v after %v", e.at, last)
+		}
+		last = e.at
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after draining: %d", q.Len())
+	}
+}
+
+// TestCalendarPopBatchTyped checks batch pops take exactly the run of
+// same-instant typed events, in seq order, and stop at closures.
+func TestCalendarPopBatchTyped(t *testing.T) {
+	var q calendarQueue
+	q.setHorizon(1 << 13)
+	for i := 0; i < 10; i++ {
+		q.push(event{at: 500, seq: uint64(i), a: int64(i)})
+	}
+	q.push(event{at: 500, seq: 10, fn: func() {}})
+	q.push(event{at: 500, seq: 11, a: 11})
+	q.push(event{at: 900, seq: 12, a: 12})
+
+	batch, at := q.popBatchTyped(nil, 64)
+	if at != 500 || len(batch) != 10 {
+		t.Fatalf("first batch: at=%d len=%d, want at=500 len=10", at, len(batch))
+	}
+	for i, ev := range batch {
+		if ev.A != int64(i) {
+			t.Fatalf("batch[%d].A = %d, want %d (FIFO order broken)", i, ev.A, i)
+		}
+	}
+	// The closure event heads the queue now: batch pop must yield nothing.
+	batch, at = q.popBatchTyped(batch[:0], 64)
+	if at != 500 || len(batch) != 0 {
+		t.Fatalf("batch at a closure event: at=%d len=%d, want at=500 len=0", at, len(batch))
+	}
+	if e := q.pop(); e.fn == nil || e.seq != 10 {
+		t.Fatalf("pop after empty batch = %+v, want the seq-10 closure", e)
+	}
+	batch, _ = q.popBatchTyped(batch[:0], 64)
+	if len(batch) != 1 || batch[0].A != 11 {
+		t.Fatalf("tail batch = %+v, want the single seq-11 event", batch)
+	}
+	if e := q.pop(); e.at != 900 || e.a != 12 {
+		t.Fatalf("final pop = %+v, want the at-900 event", e)
+	}
+}
+
+// TestCalendarBatchCap checks popBatchTyped honors max and the remainder
+// pops in order.
+func TestCalendarBatchCap(t *testing.T) {
+	var q calendarQueue
+	q.setHorizon(1 << 13)
+	for i := 0; i < 100; i++ {
+		q.push(event{at: 7, seq: uint64(i), a: int64(i)})
+	}
+	batch, _ := q.popBatchTyped(nil, 64)
+	if len(batch) != 64 || batch[63].A != 63 {
+		t.Fatalf("capped batch len=%d last=%v, want 64/63", len(batch), batch[len(batch)-1])
+	}
+	batch, _ = q.popBatchTyped(batch[:0], 64)
+	if len(batch) != 36 || batch[0].A != 64 {
+		t.Fatalf("second batch len=%d first=%v, want 36/64", len(batch), batch[0])
+	}
+}
+
+// TestCalendarHorizonHintOrderInvariance re-runs one interleaving under
+// many ring sizings and requires the identical pop sequence: the hint may
+// only move cost, never order. This is the queue-level statement of the
+// golden tests' bit-identical guarantee.
+func TestCalendarHorizonHintOrderInvariance(t *testing.T) {
+	ops := make([]byte, 4096)
+	rand.New(rand.NewSource(99)).Read(ops)
+	var want []Time
+	for _, shiftSel := range []byte{0, 3, 6, 9, 13, 20, 27} {
+		var q calendarQueue
+		q.setHorizon(Time(1) << shiftSel)
+		var seq uint64
+		var got []Time
+		for i, op := range ops {
+			if op < 96 && q.Len() > 0 {
+				got = append(got, q.pop().at)
+				continue
+			}
+			at := Time(op>>2) * 900
+			if op&3 == 3 {
+				at += Time(i) * 1e7
+			}
+			q.push(event{at: at, seq: seq})
+			seq++
+		}
+		for q.Len() > 0 {
+			got = append(got, q.pop().at)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shift %d: popped %d events, want %d", shiftSel, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shift %d: pop %d = %v, want %v", shiftSel, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCalendarResetResidue verifies a reused calendar queue behaves like a
+// fresh one and drops closure references on pop and reset.
+func TestCalendarResetResidue(t *testing.T) {
+	var q calendarQueue
+	q.setHorizon(1 << 13)
+	for i := 0; i < 300; i++ {
+		q.push(event{at: Time(i%7) * 1000, seq: uint64(i), fn: func() {}})
+	}
+	q.push(event{at: 1 << 45, seq: 301, fn: func() {}}) // overflow tier
+	q.reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after reset = %d", q.Len())
+	}
+	for bi := range q.buckets {
+		bk := &q.buckets[bi]
+		spare := bk.items[:cap(bk.items)]
+		for i := range spare {
+			if spare[i].fn != nil || spare[i].at != 0 || spare[i].seq != 0 {
+				t.Fatalf("reset left residue in bucket %d slot %d: %+v", bi, i, spare[i])
+			}
+		}
+	}
+	// Replay a normal interleaving on the reused queue.
+	var seq uint64
+	for i := 0; i < 300; i++ {
+		q.push(event{at: Time(300 - i), seq: seq})
+		seq++
+	}
+	last := Time(-1)
+	for q.Len() > 0 {
+		e := q.pop()
+		if e.at < last {
+			t.Fatalf("reused queue popped out of order: %v after %v", e.at, last)
+		}
+		last = e.at
+	}
+}
+
+// TestEngineBatchDispatch verifies the engine batches same-instant typed
+// events through DispatchBatch in exactly Dispatch order, interleaved
+// correctly with closure events.
+func TestEngineBatchDispatch(t *testing.T) {
+	rec := &recordingBatcher{}
+	e := NewEngine()
+	e.SetDispatcher(rec)
+	for i := 0; i < 5; i++ {
+		e.ScheduleEvent(100, 1, int64(i), 0)
+	}
+	e.Schedule(100, func() { rec.log = append(rec.log, -1) })
+	for i := 5; i < 8; i++ {
+		e.ScheduleEvent(100, 1, int64(i), 0)
+	}
+	e.ScheduleEvent(200, 2, 99, 0)
+	e.RunAll()
+	want := []int64{0, 1, 2, 3, 4, -1, 5, 6, 7, 99}
+	if len(rec.log) != len(want) {
+		t.Fatalf("log %v, want %v", rec.log, want)
+	}
+	for i := range want {
+		if rec.log[i] != want[i] {
+			t.Fatalf("log %v, want %v", rec.log, want)
+		}
+	}
+	if rec.batches == 0 {
+		t.Fatal("DispatchBatch was never used")
+	}
+	if e.Executed != 10 {
+		t.Fatalf("Executed = %d, want 10", e.Executed)
+	}
+}
+
+// recordingBatcher records dispatch order and counts batch calls.
+type recordingBatcher struct {
+	log     []int64
+	batches int
+}
+
+func (r *recordingBatcher) Dispatch(kind uint8, a, b int64) { r.log = append(r.log, a) }
+
+func (r *recordingBatcher) DispatchBatch(at Time, evs []EventRec) {
+	r.batches++
+	for i := range evs {
+		r.Dispatch(evs[i].Kind, evs[i].A, evs[i].B)
+	}
+}
+
+// TestEngineHorizonHintNonEmptyPanics pins the sizing contract: the ring
+// cannot be resized under live events.
+func TestEngineHorizonHintNonEmptyPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("SetHorizonHint on a non-empty queue did not panic")
+		}
+	}()
+	e.SetHorizonHint(1000)
+}

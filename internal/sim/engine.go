@@ -9,6 +9,28 @@ type Dispatcher interface {
 	Dispatch(kind uint8, a, b int64)
 }
 
+// EventRec is one typed event's payload as handed to a BatchDispatcher.
+type EventRec struct {
+	Kind uint8
+	A, B int64
+}
+
+// BatchDispatcher is an optional extension of Dispatcher: when the installed
+// dispatcher implements it, Run hands every run of same-timestamp typed
+// events to one DispatchBatch call instead of one Dispatch call each,
+// amortizing the per-event loop overhead (queue settle, horizon compare,
+// interface dispatch). The events arrive in exactly the order Dispatch would
+// have seen them, so batching is invisible to the simulation.
+type BatchDispatcher interface {
+	Dispatcher
+	DispatchBatch(at Time, evs []EventRec)
+}
+
+// maxDispatchBatch caps one DispatchBatch call, bounding the scratch buffer
+// and the latency of the cancellation poll across a large same-instant
+// burst (e.g. the time-0 guard checks of every node).
+const maxDispatchBatch = 256
+
 // Engine is a single-threaded discrete-event simulator.
 //
 // Callbacks scheduled with Schedule run in nondecreasing time order, FIFO
@@ -19,10 +41,12 @@ type Dispatcher interface {
 type Engine struct {
 	now        Time
 	seq        uint64
-	queue      eventQueue
+	queue      calendarQueue
 	stopped    bool
 	interrupt  bool
 	dispatcher Dispatcher
+	batcher    BatchDispatcher // dispatcher's batch extension, if any
+	batch      []EventRec      // reusable same-instant batch scratch
 	stopCheck  func() bool
 	stopEvery  uint64
 	// Executed counts events processed, for instrumentation and benchmarks.
@@ -76,8 +100,25 @@ func (e *Engine) ScheduleAfter(delay Time, fn func()) {
 }
 
 // SetDispatcher installs the handler for typed events. It must be set
-// before the first ScheduleEvent call.
-func (e *Engine) SetDispatcher(d Dispatcher) { e.dispatcher = d }
+// before the first ScheduleEvent call. A dispatcher that also implements
+// BatchDispatcher receives same-instant typed events in batches.
+func (e *Engine) SetDispatcher(d Dispatcher) {
+	e.dispatcher = d
+	e.batcher, _ = d.(BatchDispatcher)
+}
+
+// SetHorizonHint sizes the event queue's calendar ring so that events
+// scheduled within delta of now stay bucket-resident (only rarer, farther
+// events take the overflow-heap path). It may only be called while no events
+// are pending, typically right after Reset; the hint has no observable
+// effect on execution order, only on queue cost. delta <= 0 selects the
+// default sizing.
+func (e *Engine) SetHorizonHint(delta Time) {
+	if delta <= 0 {
+		delta = Time(int64(calBuckets) << (defaultCalShift - 1))
+	}
+	e.queue.setHorizon(delta)
+}
 
 // ScheduleEvent schedules a typed event for the engine's Dispatcher at the
 // absolute instant at. It is ordered exactly like Schedule (time, then
@@ -136,19 +177,32 @@ func (e *Engine) Interrupted() bool { return e.interrupt }
 func (e *Engine) Run(horizon Time) uint64 {
 	e.stopped = false
 	e.interrupt = false
-	var n uint64
+	var n, nextPoll uint64
 	for e.queue.Len() > 0 && !e.stopped {
-		if e.stopCheck != nil && n%e.stopEvery == 0 && e.stopCheck() {
-			e.interrupt = true
+		if e.stopCheck != nil && n >= nextPoll {
+			if e.stopCheck() {
+				e.interrupt = true
+				break
+			}
+			nextPoll = n + e.stopEvery
+		}
+		t := e.queue.peekTime()
+		if t > horizon {
 			break
 		}
-		if e.queue.peekTime() > horizon {
-			break
-		}
-		ev := e.queue.pop()
-		if ev.at < e.now {
+		if t < e.now {
 			panic("sim: event queue yielded an event in the past")
 		}
+		if e.batcher != nil {
+			e.batch, _ = e.queue.popBatchTyped(e.batch[:0], maxDispatchBatch)
+			if len(e.batch) > 0 {
+				e.now = t
+				e.batcher.DispatchBatch(t, e.batch)
+				n += uint64(len(e.batch))
+				continue
+			}
+		}
+		ev := e.queue.pop()
 		e.now = ev.at
 		if ev.fn != nil {
 			ev.fn()

@@ -15,12 +15,14 @@ type event struct {
 
 // eventQueue is a 4-ary min-heap of events ordered by (at, seq).
 // It is implemented directly (rather than via container/heap) to avoid
-// interface boxing on the simulator's hottest path. The arity-4 layout
-// halves the tree depth of a binary heap, so a sift touches fewer cache
-// lines per level; with the branchy (at, seq) comparison this is a net win
-// on the pop-heavy workload of the simulator. Because (at, seq) keys are
-// unique, pops yield the same total order for any heap arity, so the queue
-// shape is not observable in simulation results.
+// interface boxing. The arity-4 layout halves the tree depth of a binary
+// heap, so a sift touches fewer cache lines per level. It was the engine's
+// event queue until the bounded-horizon calendarQueue replaced it on the
+// hot path; it is retained as the calendar's far-future overflow tier and
+// as the differential reference the calendar is fuzzed against (see
+// queue_fuzz_test.go). Because (at, seq) keys are unique, pops yield the
+// same total order for any heap arity or bucketing, so the queue shape is
+// not observable in simulation results.
 type eventQueue struct {
 	items []event
 }

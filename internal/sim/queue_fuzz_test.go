@@ -7,10 +7,11 @@ import (
 )
 
 // refHeap is a container/heap reference implementation with the same
-// (at, seq) order as eventQueue. The fuzz and property tests below drive
-// both through identical push/pop interleavings and require identical pop
-// sequences: because (at, seq) keys are unique, every correct heap yields
-// the same total order regardless of arity or sift strategy.
+// (at, seq) order as eventQueue and calendarQueue. The fuzz and property
+// tests below drive all three through identical push/pop/reset
+// interleavings and require identical pop sequences: because (at, seq) keys
+// are unique, every correct priority queue yields the same total order
+// regardless of arity, sift strategy, or bucketing.
 type refHeap []event
 
 func (h refHeap) Len() int           { return len(h) }
@@ -25,57 +26,116 @@ func (h *refHeap) Pop() any {
 	return e
 }
 
-// driveQueues feeds one interleaving of operations to both heaps and fails
-// if they ever disagree. ops bytes select the action: values < popBias pop
-// (when non-empty), everything else pushes an event whose time is derived
-// from the byte, with a shared seq counter guaranteeing key uniqueness.
-func driveQueues(t *testing.T, ops []byte) {
-	t.Helper()
-	var q eventQueue
-	ref := &refHeap{}
-	var seq uint64
-	const popBias = 96 // ~3/8 pops so the heaps grow and drain
-	for i, op := range ops {
-		if op < popBias && q.Len() > 0 {
-			got, want := q.pop(), heap.Pop(ref).(event)
-			if got.at != want.at || got.seq != want.seq {
-				t.Fatalf("op %d: pop mismatch: queue (at=%d seq=%d), reference (at=%d seq=%d)",
-					i, got.at, got.seq, want.at, want.seq)
-			}
-			continue
-		}
-		// Coarse time quantization forces many equal-at events, exercising
-		// the seq tiebreak; occasional large jumps exercise deep sifts.
-		at := Time(op>>3) * 100
-		if op&7 == 7 {
-			at += Time(i) * 1e6
-		}
-		e := event{at: at, seq: seq, a: int64(i)}
-		seq++
-		q.push(e)
-		heap.Push(ref, e)
+// queueTrio drives the calendar queue, the retained 4-ary heap, and
+// container/heap in lockstep and fails on any disagreement.
+type queueTrio struct {
+	t   *testing.T
+	cal calendarQueue
+	hp  eventQueue
+	ref refHeap
+	seq uint64
+}
+
+func (q *queueTrio) push(at Time) {
+	e := event{at: at, seq: q.seq, a: int64(q.seq)}
+	q.seq++
+	q.cal.push(e)
+	q.hp.push(e)
+	heap.Push(&q.ref, e)
+}
+
+func (q *queueTrio) pop(op int) {
+	q.t.Helper()
+	if q.cal.Len() != q.hp.Len() || q.cal.Len() != q.ref.Len() {
+		q.t.Fatalf("op %d: Len mismatch: calendar %d, heap %d, reference %d",
+			op, q.cal.Len(), q.hp.Len(), q.ref.Len())
 	}
-	for q.Len() > 0 {
-		if ref.Len() == 0 {
-			t.Fatalf("queue holds %d events the reference does not", q.Len())
-		}
-		got, want := q.pop(), heap.Pop(ref).(event)
-		if got.at != want.at || got.seq != want.seq {
-			t.Fatalf("drain: pop mismatch: queue (at=%d seq=%d), reference (at=%d seq=%d)",
-				got.at, got.seq, want.at, want.seq)
-		}
+	if q.cal.Len() == 0 {
+		return
 	}
-	if ref.Len() != 0 {
-		t.Fatalf("reference holds %d events the queue does not", ref.Len())
+	if pt := q.cal.peekTime(); pt != q.ref[0].at {
+		q.t.Fatalf("op %d: peekTime %d, reference %d", op, pt, q.ref[0].at)
+	}
+	got, mid, want := q.cal.pop(), q.hp.pop(), heap.Pop(&q.ref).(event)
+	if got.at != want.at || got.seq != want.seq || mid.at != want.at || mid.seq != want.seq {
+		q.t.Fatalf("op %d: pop mismatch: calendar (at=%d seq=%d), heap (at=%d seq=%d), reference (at=%d seq=%d)",
+			op, got.at, got.seq, mid.at, mid.seq, want.at, want.seq)
 	}
 }
 
-// FuzzEventQueue lets the fuzzer search for an interleaving where the 4-ary
-// queue and container/heap disagree. Run with: go test -fuzz FuzzEventQueue ./internal/sim
+func (q *queueTrio) reset() {
+	q.cal.reset()
+	q.hp.reset()
+	q.ref = q.ref[:0]
+	q.seq = 0
+}
+
+func (q *queueTrio) drain(op int) {
+	q.t.Helper()
+	for q.cal.Len() > 0 {
+		q.pop(op)
+	}
+	if q.hp.Len() != 0 || q.ref.Len() != 0 {
+		q.t.Fatalf("drain: heap holds %d and reference holds %d events the calendar does not",
+			q.hp.Len(), q.ref.Len())
+	}
+}
+
+// driveQueues feeds one interleaving of operations to all three queues.
+// The first byte sizes the calendar's buckets (the full shift range from
+// degenerate 2 ps buckets to wider-than-horizon ones must order
+// identically); each further byte selects an action:
+//
+//   - < 88: pop everywhere (and compare)
+//   - < 96: reset all queues (covers arena-style reuse mid-stream)
+//   - < 112: same-instant burst: several pushes at one repeated time
+//   - < 120: far-future burst: pushes far beyond the ring span, exercising
+//     the overflow heap and window jumps/migration
+//   - else: push one event with coarse time quantization (many equal-at
+//     events for the seq tiebreak) and occasional large jumps (deep sifts,
+//     pushSlow window rebuilds)
+func driveQueues(t *testing.T, ops []byte) {
+	t.Helper()
+	q := &queueTrio{t: t}
+	if len(ops) > 0 {
+		q.cal.setHorizon(Time(1) << (ops[0] % 28))
+		ops = ops[1:]
+	}
+	for i, op := range ops {
+		switch {
+		case op < 88:
+			q.pop(i)
+		case op < 96:
+			q.reset()
+		case op < 112:
+			at := Time(op-96) * 700
+			for k := 0; k < 5; k++ {
+				q.push(at)
+			}
+		case op < 120:
+			base := Time(i+1) * 1e9
+			for k := Time(0); k < 3; k++ {
+				q.push(base + k*1e7)
+			}
+		default:
+			at := Time(op>>3) * 100
+			if op&7 == 7 {
+				at += Time(i) * 1e6
+			}
+			q.push(at)
+		}
+	}
+	q.drain(len(ops))
+}
+
+// FuzzEventQueue lets the fuzzer search for an interleaving where the
+// calendar queue, the 4-ary heap, and container/heap disagree. Run with:
+// go test -fuzz FuzzEventQueue ./internal/sim
 func FuzzEventQueue(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{200, 201, 202, 0, 0, 0})
-	f.Add([]byte{255, 7, 15, 23, 0, 128, 0, 0, 95, 95})
+	f.Add([]byte{6, 200, 201, 202, 0, 0, 0})
+	f.Add([]byte{0, 255, 7, 15, 23, 0, 128, 0, 0, 95, 95})
+	f.Add([]byte{27, 100, 113, 116, 119, 0, 0, 90, 200, 0})
 	seed := make([]byte, 512)
 	r := rand.New(rand.NewSource(1))
 	r.Read(seed)
