@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json bench-compare fuzz vet fmt cover repro examples clean
+.PHONY: all build test test-short race bench bench-json bench-compare obs-overhead fuzz vet fmt cover repro examples clean
 
 all: build test
 
@@ -30,6 +30,15 @@ bench-json:
 BENCH_OLD ?= BENCH_2.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare -fail-above 5 $(BENCH_OLD) $(BENCH_BASELINE)
+
+# Observability-overhead gate: with no tracer armed, the per-event nil
+# check in the engine must be free. Runs the largest pulse benchmark
+# (tracing disabled — the default) and fails if it regresses more than 3%
+# against the committed baseline on ns/op or events/s.
+obs-overhead:
+	$(GO) test -run '^$$' -bench 'BenchmarkPulsePropagation$$/L100_W40$$' \
+		-benchmem -count=6 . | $(GO) run ./cmd/benchjson -out obs_overhead.json
+	$(GO) run ./cmd/benchjson -compare -fail-above 3 $(BENCH_BASELINE) obs_overhead.json
 
 # Differential-fuzz the event queues (calendar vs 4-ary heap vs
 # container/heap) beyond the committed seed corpus.
@@ -72,4 +81,4 @@ examples:
 	$(GO) run ./examples/endtoend
 
 clean:
-	rm -f test_output.txt bench_output.txt cover_service.out cover_store.out
+	rm -f test_output.txt bench_output.txt cover_service.out cover_store.out obs_overhead.json

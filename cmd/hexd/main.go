@@ -12,17 +12,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/run   {"l":50,"w":20,"scenario":"iii","faults":2,"seed":7}
-//	POST /v1/spec  {"l":50,"w":20,"scenario":"ramp","runs":250}
+//	POST /v1/run            {"l":50,"w":20,"scenario":"iii","faults":2,"seed":7}
+//	                        (?trace=1 arms the sim flight recorder)
+//	POST /v1/spec           {"l":50,"w":20,"scenario":"ramp","runs":250}
+//	GET  /v1/debug/requests (recent request traces, newest first)
 //	GET  /healthz
 //	GET  /metrics
+//
+// Logs are structured JSON on stderr (log/slog); every request line and
+// every error response body carries the request's X-Request-ID.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -36,29 +42,41 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
-		queue       = flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
-		cacheSize   = flag.Int("cache", 512, "result cache entries (negative disables)")
-		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
-		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "clamp for per-request deadlines")
-		maxNodes    = flag.Int("max-nodes", 250000, "largest admissible grid, in nodes")
-		maxRuns     = flag.Int("max-runs", 2000, "largest admissible runs count per /v1/spec")
-		drainwindow = flag.Duration("drain", 30*time.Second, "graceful shutdown window")
-		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; the endpoints expose heap and CPU internals)")
-		storeDir    = flag.String("store-dir", "", "durable result store directory (empty disables; survives restarts)")
-		storeMax    = flag.Int64("store-max-bytes", 256<<20, "on-disk byte budget for -store-dir (<= 0 = unlimited)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
+		cacheSize    = flag.Int("cache", 512, "result cache entries (negative disables)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "clamp for per-request deadlines")
+		maxNodes     = flag.Int("max-nodes", 250000, "largest admissible grid, in nodes")
+		maxRuns      = flag.Int("max-runs", 2000, "largest admissible runs count per /v1/spec")
+		drainwindow  = flag.Duration("drain", 30*time.Second, "graceful shutdown window")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; the endpoints expose heap and CPU internals)")
+		storeDir     = flag.String("store-dir", "", "durable result store directory (empty disables; survives restarts)")
+		storeMax     = flag.Int64("store-max-bytes", 256<<20, "on-disk byte budget for -store-dir (<= 0 = unlimited)")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug|info|warn|error (debug logs every request)")
+		debugRing    = flag.Int("debug-requests", 64, "completed request traces kept for GET /v1/debug/requests (negative disables)")
+		flightEvents = flag.Int("flight-events", 4096, "sim events retained by the ?trace=1 flight recorder (negative disables)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "hexd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
 		if st, err = store.Open(*storeDir, *storeMax); err != nil {
-			log.Fatalf("hexd: open store %s: %v", *storeDir, err)
+			logger.Error("open store failed", "dir", *storeDir, "err", err.Error())
+			os.Exit(1)
 		}
-		log.Printf("hexd: store %s recovered %d records (%d bytes, %d quarantined)",
-			*storeDir, st.Len(), st.Bytes(), st.Quarantined())
+		logger.Info("store recovered", "dir", *storeDir,
+			"records", st.Len(), "bytes", st.Bytes(), "quarantined", st.Quarantined())
 	}
 
 	svc := service.New(service.Options{
@@ -70,6 +88,9 @@ func main() {
 		MaxNodes:       *maxNodes,
 		MaxRuns:        *maxRuns,
 		Store:          st,
+		Logger:         logger,
+		TraceRing:      *debugRing,
+		FlightEvents:   *flightEvents,
 	})
 	handler := svc.Handler()
 	if *pprofOn {
@@ -96,23 +117,24 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	opts := svc.Options()
-	log.Printf("hexd: listening on %s (workers=%d queue=%d cache=%d)",
-		*addr, opts.Workers, opts.QueueDepth, opts.CacheEntries)
+	logger.Info("listening", "addr", *addr,
+		"workers", opts.Workers, "queue", opts.QueueDepth, "cache", opts.CacheEntries)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("hexd: serve: %v", err)
+		logger.Error("serve failed", "err", err.Error())
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
 	// Drain: stop accepting connections, let in-flight requests (and the
 	// jobs they wait on) finish within the window, then stop the workers.
-	log.Printf("hexd: draining (up to %v)", *drainwindow)
+	logger.Info("draining", "window", drainwindow.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainwindow)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("hexd: shutdown: %v", err)
+		logger.Warn("shutdown error", "err", err.Error())
 	}
 	svc.Close()
-	log.Printf("hexd: drained, bye")
+	logger.Info("drained, bye")
 }

@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,9 +17,11 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/source"
 	"repro/internal/stats"
+	"repro/internal/trace"
 
 	hex "repro"
 )
@@ -37,6 +40,7 @@ func main() {
 		svg       = flag.Bool("svg", false, "print the wave as an SVG heat map and exit")
 		plus      = flag.Bool("plus", false, "use the HEX+ augmented topology (Section 5)")
 		timeout   = flag.Duration("timeout", 0, "abort the simulation after this wall-clock duration (0 = none)")
+		traceTail = flag.Int("trace-tail", 0, "keep the last N simulation events in a flight recorder; the audited window is reported after the run and dumped as JSON to stderr on failure (0 = off)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -108,7 +112,27 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	rep, err := hex.RunPulse(hex.PulseConfig{Grid: g, Scenario: sc, Faults: plan, Seed: *seed, Context: ctx})
+	cfg := hex.PulseConfig{Grid: g, Scenario: sc, Faults: plan, Seed: *seed, Context: ctx}
+	var fr *obs.FlightRecorder
+	if *traceTail > 0 {
+		fr = obs.NewFlightRecorder(*traceTail)
+		cfg.Trace = fr
+	}
+	rep, err := hex.RunPulse(cfg)
+	if fr != nil {
+		// Audit the captured window against the run's own topology and
+		// fault plan; the raw events are emitted only when the run failed
+		// (cancellation, infeasible config) or the audit found a violation.
+		dump := obs.NewFlightDump(fr, &trace.Auditor{G: g.Graph, Plan: plan, Params: hex.DefaultParams()}, err != nil)
+		fmt.Fprintf(os.Stderr, "hexsim: flight recorder: captured=%d dropped=%d complete=%t audit_ok=%t\n",
+			dump.Captured, dump.Dropped, dump.Complete, dump.AuditOK)
+		if dump.AuditError != "" {
+			fmt.Fprintf(os.Stderr, "hexsim: flight audit: %s\n", dump.AuditError)
+		}
+		if len(dump.Events) > 0 {
+			json.NewEncoder(os.Stderr).Encode(dump)
+		}
+	}
 	if err != nil {
 		fail(err)
 	}

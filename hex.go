@@ -67,6 +67,10 @@ type (
 	Schedule = source.Schedule
 	// RNG is the deterministic random generator used throughout.
 	RNG = sim.RNG
+	// Tracer observes the simulation's internal events (sends, deliveries,
+	// flag expiries, fires, sleep/wake); see obs.FlightRecorder and
+	// trace.Recorder for ready-made implementations.
+	Tracer = core.Tracer
 )
 
 // Layer-0 skew scenarios (Table 1's (i)–(iv)).
@@ -151,6 +155,10 @@ type PulseConfig struct {
 	// Context, if non-nil, cancels the simulation: once it is done the
 	// engine stops early and RunPulse returns the context's error.
 	Context context.Context
+	// Trace, if non-nil, observes every internal event of the run. The
+	// callbacks run synchronously inside the event loop; a nil Trace
+	// leaves the hot path untouched.
+	Trace Tracer
 }
 
 // PulseReport is the outcome of RunPulse.
@@ -194,6 +202,7 @@ func RunPulse(cfg PulseConfig) (*PulseReport, error) {
 		Schedule: source.SinglePulse(offsets),
 		Seed:     cfg.Seed,
 		Context:  cfg.Context,
+		Trace:    cfg.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -103,6 +103,12 @@ func (nw *network) DispatchBatch(at sim.Time, evs []sim.EventRec) {
 	}
 }
 
+// noBatchDispatch, when set, makes every run dispatch typed events one at
+// a time instead of through the BatchDispatcher fast path. The pop order —
+// and therefore every observable, including Tracer callback order — is
+// identical either way; tests flip this to prove exactly that.
+var noBatchDispatch bool
+
 // network binds a Config to a running engine. Its storage (the SoA node
 // and input slabs of soa.go, trigger accumulators, engine queue) survives
 // across runs when driven through an Arena; build re-initializes every
@@ -153,6 +159,7 @@ func (nw *network) run(cfg Config) (*Result, error) {
 	nw.rngTimer.Reseed(sim.DeriveSeed(cfg.Seed, "timer"))
 	nw.rngInit.Reseed(sim.DeriveSeed(cfg.Seed, "init"))
 	nw.eng.SetDispatcher(nw)
+	nw.eng.SetBatching(!noBatchDispatch)
 	if ctx := cfg.Context; ctx != nil {
 		if err := ctx.Err(); err != nil {
 			nw.release()

@@ -19,6 +19,7 @@ import (
 	"repro/internal/delay"
 	"repro/internal/fault"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/source"
 )
@@ -151,6 +152,13 @@ func runOnGrid(ctx context.Context, s Spec, h *grid.Hex, idx int) (*RunOut, erro
 
 	a := arenas.Get().(*core.Arena)
 	start := time.Now()
+	// Per-run spans feed the request trace of a traced /v1/spec sweep;
+	// outside a traced request the context carries no trace and AddSpan is
+	// a no-op on the nil receiver. The span list is bounded, so very large
+	// sweeps drop (and count) the excess rather than growing the trace.
+	defer func() {
+		obs.FromContext(ctx).AddSpan(fmt.Sprintf("run[%d]", idx), start, time.Now())
+	}()
 	res, err := a.Run(core.Config{
 		Graph:    h.Graph,
 		Params:   s.Params,
@@ -189,7 +197,9 @@ func RunManyCtx(ctx context.Context, s Spec) ([]*RunOut, error) {
 	// so sharing it across workers is race-free, and it keys the arena
 	// reuse (an arena re-slices its storage whenever the topology pointer
 	// changes, so per-run grids would defeat the pool).
+	endBuild := obs.FromContext(ctx).StartSpan("grid-build")
 	h, err := s.buildGrid()
+	endBuild()
 	if err != nil {
 		return nil, err
 	}

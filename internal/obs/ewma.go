@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateEWMA is an exponentially weighted moving average of an event rate
+// (events per second) with time-based decay: each measurement is blended
+// in with a weight derived from the wall time it covers, and reads decay
+// the average toward zero across idle periods. Unlike a last-value gauge,
+// a scrape long after the last computation reports a rate that has decayed
+// accordingly instead of replaying a stale instantaneous value forever.
+//
+// All methods are safe for concurrent use.
+type RateEWMA struct {
+	mu     sync.Mutex
+	tau    float64 // decay time constant, seconds
+	now    func() time.Time
+	rate   float64
+	last   time.Time
+	primed bool
+}
+
+// NewRateEWMA returns an EWMA with the given decay time constant: after an
+// idle period of tau the reported rate has decayed to 1/e (~37%) of its
+// value, after 3·tau to under 5%. tau <= 0 selects one minute.
+func NewRateEWMA(tau time.Duration) *RateEWMA {
+	if tau <= 0 {
+		tau = time.Minute
+	}
+	return &RateEWMA{tau: tau.Seconds(), now: time.Now}
+}
+
+// SetNow replaces the clock; tests use it to make decay deterministic.
+func (e *RateEWMA) SetNow(now func() time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.now = now
+}
+
+// Observe blends in a measurement of `events` events over `elapsed` of
+// wall time ending now. Degenerate measurements (no events, non-positive
+// elapsed) are dropped rather than recorded as a zero rate.
+func (e *RateEWMA) Observe(events uint64, elapsed time.Duration) {
+	if events == 0 || elapsed <= 0 {
+		return
+	}
+	inst := float64(events) / elapsed.Seconds()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	if !e.primed {
+		e.rate = inst
+		e.last = now
+		e.primed = true
+		return
+	}
+	dt := now.Sub(e.last).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
+	// The blend weight covers the gap since the previous measurement plus
+	// the span of this one, so back-to-back short measurements converge at
+	// the pace their combined wall time justifies.
+	w := 1 - math.Exp(-(dt+elapsed.Seconds())/e.tau)
+	e.rate = e.rate*(1-w) + inst*w
+	e.last = now
+}
+
+// Rate returns the average decayed to the current instant. It does not
+// mutate state: repeated idle reads each decay from the last observation.
+func (e *RateEWMA) Rate() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.primed {
+		return 0
+	}
+	dt := e.now().Sub(e.last).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
+	return e.rate * math.Exp(-dt/e.tau)
+}
+
+// Value returns Rate rounded to an integer, the shape the metrics text
+// format renders.
+func (e *RateEWMA) Value() int64 { return int64(math.Round(e.Rate())) }

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FlightRecorder is a bounded, allocation-free ring buffer over the
+// simulation's internal event stream. It implements core.Tracer: armed via
+// core.Config.Trace it captures the tail (the last capacity events) of a
+// run, which is exactly the window of interest when a run is cancelled,
+// errors out, or fails an audit. All storage is allocated up front; the
+// per-event callbacks write one preallocated slot and never allocate, so
+// arming a recorder does not perturb the run it is observing beyond the
+// core's existing tracer indirection.
+//
+// A FlightRecorder is not safe for concurrent use, matching the engine's
+// single-threaded dispatch; use one per run.
+type FlightRecorder struct {
+	buf     []trace.Event
+	next    int
+	full    bool
+	dropped uint64
+}
+
+var _ core.Tracer = (*FlightRecorder)(nil)
+
+// minFlightCapacity keeps degenerate capacities usable.
+const minFlightCapacity = 16
+
+// NewFlightRecorder returns a recorder retaining the last capacity events.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < minFlightCapacity {
+		capacity = minFlightCapacity
+	}
+	return &FlightRecorder{buf: make([]trace.Event, capacity)}
+}
+
+// record writes one event into the ring.
+func (f *FlightRecorder) record(e trace.Event) {
+	if f.full {
+		f.dropped++
+	}
+	f.buf[f.next] = e
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+}
+
+// Send implements core.Tracer.
+func (f *FlightRecorder) Send(from, to int, at, arrival sim.Time) {
+	f.record(trace.Event{Kind: trace.KindSend, At: at, Node: from, Peer: to, Arrival: arrival})
+}
+
+// Deliver implements core.Tracer.
+func (f *FlightRecorder) Deliver(from, to int, at sim.Time, accepted bool) {
+	f.record(trace.Event{Kind: trace.KindDeliver, At: at, Node: to, Peer: from, Accepted: accepted})
+}
+
+// FlagExpire implements core.Tracer.
+func (f *FlightRecorder) FlagExpire(node, input int, at sim.Time) {
+	f.record(trace.Event{Kind: trace.KindFlagExpire, At: at, Node: node, Peer: input})
+}
+
+// Fire implements core.Tracer.
+func (f *FlightRecorder) Fire(node int, at sim.Time, source bool) {
+	f.record(trace.Event{Kind: trace.KindFire, At: at, Node: node, Source: source})
+}
+
+// Sleep implements core.Tracer.
+func (f *FlightRecorder) Sleep(node int, at sim.Time) {
+	f.record(trace.Event{Kind: trace.KindSleep, At: at, Node: node})
+}
+
+// Wake implements core.Tracer.
+func (f *FlightRecorder) Wake(node int, at sim.Time) {
+	f.record(trace.Event{Kind: trace.KindWake, At: at, Node: node})
+}
+
+// Len reports the number of retained events.
+func (f *FlightRecorder) Len() int {
+	if f.full {
+		return len(f.buf)
+	}
+	return f.next
+}
+
+// Dropped reports how many events were overwritten after the ring filled.
+// Zero means the recorder holds the run's complete event stream.
+func (f *FlightRecorder) Dropped() uint64 { return f.dropped }
+
+// Events returns the retained events oldest-first, as a copy.
+func (f *FlightRecorder) Events() []trace.Event {
+	n := f.Len()
+	out := make([]trace.Event, 0, n)
+	if f.full {
+		out = append(out, f.buf[f.next:]...)
+	}
+	return append(out, f.buf[:f.next]...)
+}
+
+// Recorder exports the retained window as a trace.Recorder, the input type
+// of the trace package's audits.
+func (f *FlightRecorder) Recorder() *trace.Recorder {
+	return &trace.Recorder{Events: f.Events()}
+}
+
+// FlightEvent is one recorded event in a FlightDump, shaped for compact
+// JSON. It round-trips losslessly to trace.Event, which is what makes a
+// dump replayable offline.
+type FlightEvent struct {
+	Kind     string   `json:"k"`
+	At       sim.Time `json:"at"`
+	Node     int      `json:"n"`
+	Peer     int      `json:"p,omitempty"`
+	Arrival  sim.Time `json:"arr,omitempty"`
+	Accepted bool     `json:"acc,omitempty"`
+	Source   bool     `json:"src,omitempty"`
+}
+
+// FlightDump is the serializable capture of a flight recorder's window,
+// audited at capture time against the run's own graph, fault plan and
+// parameters. Captured/Dropped describe the window; Complete reports that
+// the ring never wrapped, i.e. the window is the run's entire event stream
+// and the full trace.Audit suite applied (otherwise the window-tolerant
+// tail audit did).
+type FlightDump struct {
+	Captured   int           `json:"captured"`
+	Dropped    uint64        `json:"dropped"`
+	Complete   bool          `json:"complete"`
+	AuditOK    bool          `json:"audit_ok"`
+	AuditError string        `json:"audit_error,omitempty"`
+	Events     []FlightEvent `json:"events,omitempty"`
+}
+
+// NewFlightDump captures fr's window and audits it with a: the full
+// trace.Audit suite when the window is the complete run, the tail audit
+// when the ring wrapped. withEvents controls whether the raw events are
+// embedded (they dominate the dump's size; hexd embeds them only for
+// failed or audit-violating runs).
+func NewFlightDump(fr *FlightRecorder, a *trace.Auditor, withEvents bool) *FlightDump {
+	rec := fr.Recorder()
+	complete := fr.Dropped() == 0
+	var auditErr error
+	if complete {
+		auditErr = a.AuditAll(rec)
+	} else {
+		auditErr = a.AuditTail(rec)
+	}
+	d := &FlightDump{
+		Captured: len(rec.Events),
+		Dropped:  fr.Dropped(),
+		Complete: complete,
+		AuditOK:  auditErr == nil,
+	}
+	if auditErr != nil {
+		d.AuditError = auditErr.Error()
+	}
+	if withEvents || auditErr != nil {
+		d.Events = make([]FlightEvent, len(rec.Events))
+		for i, e := range rec.Events {
+			d.Events[i] = FlightEvent{
+				Kind:     e.Kind.String(),
+				At:       e.At,
+				Node:     e.Node,
+				Peer:     e.Peer,
+				Arrival:  e.Arrival,
+				Accepted: e.Accepted,
+				Source:   e.Source,
+			}
+		}
+	}
+	return d
+}
+
+// TraceEvents reconstructs the dump's window as trace.Events, so an
+// exported dump can be re-audited offline (e.g. by a test harness or a
+// post-mortem tool) with the trace package.
+func (d *FlightDump) TraceEvents() ([]trace.Event, error) {
+	out := make([]trace.Event, len(d.Events))
+	for i, e := range d.Events {
+		k, ok := trace.ParseKind(e.Kind)
+		if !ok {
+			return nil, fmt.Errorf("obs: event %d has unknown kind %q", i, e.Kind)
+		}
+		out[i] = trace.Event{
+			Kind:     k,
+			At:       e.At,
+			Node:     e.Node,
+			Peer:     e.Peer,
+			Arrival:  e.Arrival,
+			Accepted: e.Accepted,
+			Source:   e.Source,
+		}
+	}
+	return out, nil
+}

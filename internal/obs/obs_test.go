@@ -1,0 +1,314 @@
+package obs_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/source"
+	"repro/internal/trace"
+)
+
+func TestRequestID(t *testing.T) {
+	if got := obs.RequestID("client-supplied-42"); got != "client-supplied-42" {
+		t.Fatalf("sane client ID replaced: %q", got)
+	}
+	hexID := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for _, bad := range []string{"", "has space", "ctrl\x01char", "nonasciié", string(make([]byte, 80))} {
+		if got := obs.RequestID(bad); !hexID.MatchString(got) {
+			t.Fatalf("RequestID(%q) = %q, want fresh 16-hex ID", bad, got)
+		}
+	}
+	if a, b := obs.NewRequestID(), obs.NewRequestID(); a == b {
+		t.Fatalf("consecutive request IDs collided: %q", a)
+	}
+}
+
+// TestTraceNilSafety pins that every Trace method is a no-op on the nil
+// receiver, which is what lets instrumented code skip nil checks.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *obs.Trace
+	if tr := obs.FromContext(context.Background()); tr != nil {
+		t.Fatal("FromContext on a bare context returned a trace")
+	}
+	if obs.FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) returned a trace")
+	}
+	tr.StartSpan("x")()
+	tr.AddSpan("y", time.Now(), time.Now())
+	tr.Note("z")
+	tr.SetFlight(&obs.FlightDump{})
+	tr.Finish(200, nil)
+	if id := tr.ID(); id != "" {
+		t.Fatalf("nil trace ID = %q", id)
+	}
+	if snap := tr.Snapshot(); snap.ID != "" || len(snap.Spans) != 0 {
+		t.Fatalf("nil trace snapshot not empty: %+v", snap)
+	}
+}
+
+func TestTraceSnapshotAndFinish(t *testing.T) {
+	tr := obs.NewTrace("rid-1", "run")
+	if got := obs.FromContext(obs.WithTrace(context.Background(), tr)); got != tr {
+		t.Fatal("trace did not round-trip through the context")
+	}
+	end := tr.StartSpan("sim")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.Note("cache-miss")
+	tr.Finish(504, context.DeadlineExceeded)
+	tr.Finish(200, nil) // idempotent: the first call wins
+	tr.SetFlight(&obs.FlightDump{Captured: 3, AuditOK: true})
+
+	snap := tr.Snapshot()
+	if snap.ID != "rid-1" || snap.Endpoint != "run" {
+		t.Fatalf("snapshot identity = %q/%q", snap.ID, snap.Endpoint)
+	}
+	if snap.Status != 504 || snap.Error != context.DeadlineExceeded.Error() {
+		t.Fatalf("Finish not first-call-wins: status=%d err=%q", snap.Status, snap.Error)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "sim" || snap.Spans[0].DurUs <= 0 {
+		t.Fatalf("spans = %+v", snap.Spans)
+	}
+	if len(snap.Notes) != 1 || snap.Notes[0] != "cache-miss" {
+		t.Fatalf("notes = %v", snap.Notes)
+	}
+	if snap.Flight == nil || snap.Flight.Captured != 3 {
+		t.Fatal("flight dump attached after Finish is missing from the snapshot")
+	}
+	if snap.DurationMs <= 0 {
+		t.Fatalf("duration_ms = %v", snap.DurationMs)
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := obs.NewTrace("rid", "spec")
+	now := time.Now()
+	for i := 0; i < 300; i++ {
+		tr.AddSpan(fmt.Sprintf("run[%d]", i), now, now)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 256 {
+		t.Fatalf("span cap: kept %d", len(snap.Spans))
+	}
+	if snap.SpansDropped != 44 {
+		t.Fatalf("spans_dropped = %d, want 44", snap.SpansDropped)
+	}
+}
+
+func TestRingNewestFirstAndEviction(t *testing.T) {
+	r := obs.NewRing(3)
+	for i := 1; i <= 5; i++ {
+		tr := obs.NewTrace(fmt.Sprintf("id-%d", i), "run")
+		tr.Finish(200, nil)
+		r.Add(tr)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	var ids []string
+	for _, s := range r.Snapshots() {
+		ids = append(ids, s.ID)
+	}
+	if want := []string{"id-5", "id-4", "id-3"}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("snapshots = %v, want %v", ids, want)
+	}
+}
+
+func TestRingDisabled(t *testing.T) {
+	for _, r := range []*obs.Ring{nil, obs.NewRing(0), obs.NewRing(-1)} {
+		r.Add(obs.NewTrace("x", "run"))
+		if r.Len() != 0 || r.Snapshots() != nil {
+			t.Fatal("disabled ring retained traces")
+		}
+	}
+}
+
+func TestRateEWMA(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	e := obs.NewRateEWMA(time.Minute)
+	e.SetNow(func() time.Time { return clock })
+
+	// Degenerate measurements are dropped, not recorded as zero.
+	e.Observe(0, time.Second)
+	e.Observe(100, 0)
+	e.Observe(100, -time.Second)
+	if got := e.Rate(); got != 0 {
+		t.Fatalf("rate after degenerate observations = %v", got)
+	}
+
+	// The first real measurement primes the average exactly.
+	e.Observe(1000, time.Second)
+	if got := e.Rate(); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("primed rate = %v, want 1000", got)
+	}
+
+	// A steady stream holds the average steady.
+	for i := 0; i < 5; i++ {
+		clock = clock.Add(time.Second)
+		e.Observe(1000, time.Second)
+	}
+	if got := e.Rate(); math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("steady rate = %v, want 1000", got)
+	}
+
+	// Idle reads decay toward zero without mutating state: after tau the
+	// rate is 1/e of its value, and reading twice gives the same answer.
+	clock = clock.Add(time.Minute)
+	want := 1000 * math.Exp(-1)
+	if got := e.Rate(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("decayed rate = %v, want %v", got, want)
+	}
+	if got := e.Rate(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("second idle read moved the rate: %v", got)
+	}
+
+	// A new measurement blends: the result lands between the decayed old
+	// rate and the new instantaneous rate.
+	e.Observe(4000, time.Second)
+	if got := e.Rate(); got <= want || got >= 4000 {
+		t.Fatalf("blended rate = %v, want between %v and 4000", got, want)
+	}
+	if e.Value() <= 0 {
+		t.Fatalf("Value = %d", e.Value())
+	}
+}
+
+// flightConfig is a small deterministic run used by the recorder tests.
+func flightConfig(rec core.Tracer) core.Config {
+	h := grid.MustHex(10, 8)
+	p := core.DefaultParams()
+	offsets := source.Offsets(source.UniformDPlus, h.W, p.Bounds,
+		sim.NewRNG(sim.DeriveSeed(7, "offsets")))
+	return core.Config{
+		Graph:    h.Graph,
+		Params:   p,
+		Delay:    delay.Uniform{Bounds: p.Bounds},
+		Faults:   fault.NewPlan(h.NumNodes()),
+		Schedule: source.SinglePulse(offsets),
+		Seed:     7,
+		Trace:    rec,
+	}
+}
+
+// TestFlightRecorderTailMatchesFullStream runs the same simulation twice —
+// once into an unbounded reference recorder, once into a small ring — and
+// checks the ring holds exactly the reference stream's suffix.
+func TestFlightRecorderTailMatchesFullStream(t *testing.T) {
+	ref := &trace.Recorder{}
+	if _, err := core.Run(flightConfig(ref)); err != nil {
+		t.Fatal(err)
+	}
+	const cap = 64
+	fr := obs.NewFlightRecorder(cap)
+	if _, err := core.Run(flightConfig(fr)); err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Events) <= cap {
+		t.Fatalf("reference run too small to wrap the ring: %d events", len(ref.Events))
+	}
+	if fr.Len() != cap {
+		t.Fatalf("ring Len = %d, want %d", fr.Len(), cap)
+	}
+	if got, want := fr.Dropped(), uint64(len(ref.Events)-cap); got != want {
+		t.Fatalf("Dropped = %d, want %d", got, want)
+	}
+	tail := fr.Events()
+	if !reflect.DeepEqual(tail, ref.Events[len(ref.Events)-cap:]) {
+		t.Fatal("ring contents are not the suffix of the full event stream")
+	}
+}
+
+func TestFlightRecorderMinCapacity(t *testing.T) {
+	fr := obs.NewFlightRecorder(-5)
+	for i := 0; i < 100; i++ {
+		fr.Fire(i, sim.Time(i), false)
+	}
+	if fr.Len() != 16 {
+		t.Fatalf("clamped capacity retained %d events, want 16", fr.Len())
+	}
+}
+
+// TestFlightDumpRoundTrip captures a complete run, audits it, serializes
+// the dump to JSON and back, and re-audits the reconstructed event stream
+// offline — the replay path a post-mortem tool would take.
+func TestFlightDumpRoundTrip(t *testing.T) {
+	fr := obs.NewFlightRecorder(1 << 20)
+	cfg := flightConfig(fr)
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	aud := &trace.Auditor{G: cfg.Graph, Plan: cfg.Faults, Params: cfg.Params}
+	dump := obs.NewFlightDump(fr, aud, true)
+	if !dump.Complete || dump.Dropped != 0 {
+		t.Fatalf("complete run reported Complete=%t Dropped=%d", dump.Complete, dump.Dropped)
+	}
+	if !dump.AuditOK {
+		t.Fatalf("audit failed on a clean run: %s", dump.AuditError)
+	}
+	if dump.Captured == 0 || len(dump.Events) != dump.Captured {
+		t.Fatalf("captured=%d events=%d", dump.Captured, len(dump.Events))
+	}
+
+	blob, err := json.Marshal(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back obs.FlightDump
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := back.TraceEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs, fr.Events()) {
+		t.Fatal("events did not survive the JSON round trip")
+	}
+	if err := aud.AuditAll(&trace.Recorder{Events: evs}); err != nil {
+		t.Fatalf("offline re-audit of the round-tripped dump failed: %v", err)
+	}
+}
+
+// TestFlightDumpTailAudit pins the wrapped-ring path: the dump is marked
+// incomplete and the window-tolerant tail audit accepts the suffix.
+func TestFlightDumpTailAudit(t *testing.T) {
+	fr := obs.NewFlightRecorder(64)
+	cfg := flightConfig(fr)
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	aud := &trace.Auditor{G: cfg.Graph, Plan: cfg.Faults, Params: cfg.Params}
+	dump := obs.NewFlightDump(fr, aud, false)
+	if dump.Complete {
+		t.Fatal("wrapped ring reported a complete stream")
+	}
+	if !dump.AuditOK {
+		t.Fatalf("tail audit rejected a clean run's window: %s", dump.AuditError)
+	}
+	if len(dump.Events) != 0 {
+		t.Fatal("withEvents=false embedded events on a passing audit")
+	}
+
+	// A corrupted window must both fail the audit and embed the events so
+	// the dump is actionable.
+	fr.Send(0, 1, 100*sim.Nanosecond, 101*sim.Nanosecond) // delay below d-
+	bad := obs.NewFlightDump(fr, aud, false)
+	if bad.AuditOK {
+		t.Fatal("tail audit accepted a send with an impossible delay")
+	}
+	if len(bad.Events) == 0 {
+		t.Fatal("failing dump did not embed its events")
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import "sync"
+
+// Ring retains the last N completed request traces for the debug endpoint.
+// It stores live *Trace pointers and snapshots them at read time, so a
+// flight-recorder dump attached after a waiter timed out (the computation
+// outlives the HTTP response) is still visible on the next read.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	n    int
+}
+
+// NewRing returns a ring retaining up to capacity traces; capacity <= 0
+// disables retention entirely (Add is a no-op, Snapshots returns nil).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return &Ring{}
+	}
+	return &Ring{buf: make([]*Trace, capacity)}
+}
+
+// Add retains tr, evicting the oldest entry when full.
+func (r *Ring) Add(tr *Trace) {
+	if r == nil || len(r.buf) == 0 || tr == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = tr
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Snapshots returns copies of the retained traces, newest first.
+func (r *Ring) Snapshots() []TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.n == 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	traces := make([]*Trace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		traces = append(traces, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	r.mu.Unlock()
+	// Snapshot outside the ring lock: each trace has its own mutex, and
+	// snapshotting may be slow (span copies) while Add must stay cheap.
+	out := make([]TraceSnapshot, len(traces))
+	for i, tr := range traces {
+		out[i] = tr.Snapshot()
+	}
+	return out
+}
+
+// Len reports the number of retained traces.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; simulation requests are tiny.
@@ -14,28 +16,37 @@ const maxBodyBytes = 1 << 20
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /v1/run   — one single-pulse simulation (stats JSON, CSV, or SVG)
-//	POST /v1/spec  — a multi-run experiment.Spec, aggregate skew statistics
-//	GET  /healthz  — liveness (503 while draining)
-//	GET  /metrics  — Prometheus-style text metrics
+//	POST /v1/run            — one single-pulse simulation (stats JSON, CSV, or SVG);
+//	                          ?trace=1 arms the sim flight recorder
+//	POST /v1/spec           — a multi-run experiment.Spec, aggregate skew statistics
+//	GET  /v1/debug/requests — ring of recently completed request traces
+//	GET  /healthz           — liveness (503 while draining)
+//	GET  /metrics           — Prometheus text-format metrics
+//
+// Every response carries an X-Request-ID header, echoing the request's own
+// X-Request-ID when one was supplied, so clients and server logs correlate.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/spec", s.handleSpec)
+	mux.HandleFunc("/v1/debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
-// errorResponse is the JSON body of every non-2xx API response.
+// errorResponse is the JSON body of every non-2xx API response. RequestID
+// lets a client quote the failing request when reporting an issue; the same
+// ID appears in the server's log line for the rejection.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-func writeJSONError(w http.ResponseWriter, code int, msg string) {
+func writeJSONError(w http.ResponseWriter, code int, msg, rid string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+	json.NewEncoder(w).Encode(errorResponse{Error: msg, RequestID: rid})
 }
 
 // decodeJSON strictly decodes the request body into v.
@@ -50,88 +61,153 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 // serve runs the shared request pipeline: canonicalize → deadline →
-// cache/dedup/queue → error mapping → body replay.
-func (s *Service) serve(w http.ResponseWriter, r *http.Request, endpoint string,
+// cache/dedup/queue → error mapping → body replay. It owns the request's
+// trace: created here, threaded through the pipeline via the context,
+// finished with the response status, published to the debug ring, and
+// reflected as one structured log line.
+func (s *Service) serve(w http.ResponseWriter, r *http.Request, endpoint, rid string,
 	timeoutMs int64, key string, compute func(context.Context) (*cached, error)) {
 	start := time.Now()
 	defer func() { s.Metrics.Latency[endpoint].ObserveDuration(time.Since(start)) }()
 
+	tr := obs.NewTrace(rid, endpoint)
 	timeout := requestTimeout(timeoutMs, s.opts)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	val, err := s.result(ctx, timeout, key, compute)
+	val, err := s.result(obs.WithTrace(ctx, tr), timeout, key, compute)
+	status := http.StatusOK
 	if err != nil {
-		s.writeError(w, err)
-		return
+		status = s.writeError(w, rid, err)
+	} else {
+		w.Header().Set("Content-Type", val.contentType)
+		w.Header().Set("X-Hexd-Events", fmt.Sprintf("%d", val.events))
+		w.Write(val.body)
 	}
-	w.Header().Set("Content-Type", val.contentType)
-	w.Header().Set("X-Hexd-Events", fmt.Sprintf("%d", val.events))
-	w.Write(val.body)
+	tr.Finish(status, err)
+	s.ring.Add(tr)
+	s.logRequest(endpoint, rid, status, time.Since(start), err)
 }
 
-// writeError maps pipeline errors to HTTP statuses.
-func (s *Service) writeError(w http.ResponseWriter, err error) {
+// logRequest emits the request's structured log line: Debug for successes,
+// Warn for every rejection or failure (429 shed load, 504 deadline, 5xx)
+// so operators can grep the request_id a client quotes from an error body.
+func (s *Service) logRequest(endpoint, rid string, status int, d time.Duration, err error) {
+	args := []any{
+		"request_id", rid,
+		"endpoint", endpoint,
+		"status", status,
+		"dur_ms", float64(d) / float64(time.Millisecond),
+	}
+	if err != nil {
+		args = append(args, "err", err.Error())
+	}
+	if status >= 400 {
+		s.opts.Logger.Warn("request failed", args...)
+		return
+	}
+	s.opts.Logger.Debug("request served", args...)
+}
+
+// writeError maps pipeline errors to HTTP statuses and returns the status
+// it wrote.
+func (s *Service) writeError(w http.ResponseWriter, rid string, err error) int {
 	var bad errBadRequest
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeJSONError(w, http.StatusTooManyRequests, "queue full; retry later")
+		writeJSONError(w, http.StatusTooManyRequests, "queue full; retry later", rid)
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown):
-		writeJSONError(w, http.StatusServiceUnavailable, "shutting down")
+		writeJSONError(w, http.StatusServiceUnavailable, "shutting down", rid)
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		s.Metrics.DeadlineExceeded.Inc()
-		writeJSONError(w, http.StatusGatewayTimeout, "deadline exceeded")
+		writeJSONError(w, http.StatusGatewayTimeout, "deadline exceeded", rid)
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status is for logs only.
-		writeJSONError(w, http.StatusGatewayTimeout, "request cancelled")
+		writeJSONError(w, http.StatusGatewayTimeout, "request cancelled", rid)
+		return http.StatusGatewayTimeout
 	case errors.As(err, &bad):
-		writeJSONError(w, http.StatusBadRequest, bad.Error())
+		writeJSONError(w, http.StatusBadRequest, bad.Error(), rid)
+		return http.StatusBadRequest
 	default:
-		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		writeJSONError(w, http.StatusInternalServerError, err.Error(), rid)
+		return http.StatusInternalServerError
 	}
+}
+
+// requestID resolves the request's ID (honoring a sane client-supplied
+// X-Request-ID) and echoes it on the response.
+func requestID(w http.ResponseWriter, r *http.Request) string {
+	rid := obs.RequestID(r.Header.Get("X-Request-ID"))
+	w.Header().Set("X-Request-ID", rid)
+	return rid
 }
 
 func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.Metrics.Requests["run"].Inc()
+	rid := requestID(w, r)
 	if r.Method != http.MethodPost {
-		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only", rid)
 		return
 	}
 	var req RunRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeJSONError(w, http.StatusBadRequest, err.Error())
+		writeJSONError(w, http.StatusBadRequest, err.Error(), rid)
 		return
 	}
 	if err := req.normalize(s.opts); err != nil {
-		writeJSONError(w, http.StatusBadRequest, err.Error())
+		writeJSONError(w, http.StatusBadRequest, err.Error(), rid)
 		return
 	}
-	s.serve(w, r, "run", req.TimeoutMs, req.key(),
+	req.flightArm = s.opts.FlightEvents > 0 && r.URL.Query().Get("trace") == "1"
+	s.serve(w, r, "run", rid, req.TimeoutMs, req.key(),
 		func(ctx context.Context) (*cached, error) { return s.computeRun(ctx, req) })
 }
 
 func (s *Service) handleSpec(w http.ResponseWriter, r *http.Request) {
 	s.Metrics.Requests["spec"].Inc()
+	rid := requestID(w, r)
 	if r.Method != http.MethodPost {
-		writeJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST only", rid)
 		return
 	}
 	var req SpecRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeJSONError(w, http.StatusBadRequest, err.Error())
+		writeJSONError(w, http.StatusBadRequest, err.Error(), rid)
 		return
 	}
 	if err := req.normalize(s.opts); err != nil {
-		writeJSONError(w, http.StatusBadRequest, err.Error())
+		writeJSONError(w, http.StatusBadRequest, err.Error(), rid)
 		return
 	}
-	s.serve(w, r, "spec", req.TimeoutMs, req.key(),
+	s.serve(w, r, "spec", rid, req.TimeoutMs, req.key(),
 		func(ctx context.Context) (*cached, error) { return s.computeSpec(ctx, req) })
+}
+
+// handleDebugRequests serves the ring of recently completed request traces,
+// newest first. A trace whose computation is still running (a straggler
+// that outlived its waiters) appears with its spans so far; a later scrape
+// sees the finished version, including any flight dump attached after the
+// fact.
+func (s *Service) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(w, r)
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "GET only", rid)
+		return
+	}
+	snaps := s.ring.Snapshots()
+	if snaps == nil {
+		snaps = []obs.TraceSnapshot{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(snaps)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Closed() {
-		writeJSONError(w, http.StatusServiceUnavailable, "draining")
+		writeJSONError(w, http.StatusServiceUnavailable, "draining", "")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

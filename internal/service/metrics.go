@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Counter is a monotonically increasing metric, safe for concurrent use.
@@ -53,6 +55,14 @@ func newHistogram(bounds []float64) *Histogram {
 
 // defLatencyBounds covers 100µs .. ~100s in roughly 4x steps, in seconds.
 var defLatencyBounds = []float64{0.0001, 0.0005, 0.002, 0.01, 0.05, 0.25, 1, 5, 25, 100}
+
+// defEventBounds covers the events-per-run range from a trivial grid (a few
+// hundred events) to the largest sweeps, in 1-3-10 steps.
+var defEventBounds = []float64{100, 300, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7}
+
+// defDepthBounds covers queue occupancy in powers of two up to the default
+// queue capacity.
+var defDepthBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
@@ -103,12 +113,22 @@ type Metrics struct {
 	// QueueDepth and InFlight are instantaneous occupancy gauges;
 	// StoreBytes tracks the on-disk size of live store records.
 	QueueDepth, InFlight, StoreBytes *Gauge
+	// SimRunEvents distributes the executed-event count of each completed
+	// computation (a sweep counts as one observation of its total), so the
+	// workload mix — toy grids vs. large sweeps — is visible per scrape.
+	SimRunEvents *Histogram
+	// QueueDepthSamples distributes the queue occupancy observed at each
+	// submission, which, unlike the instantaneous QueueDepth gauge,
+	// survives between scrapes and shows how close the service runs to the
+	// 429 threshold.
+	QueueDepthSamples *Histogram
 	// EventsPerSec is the simulation throughput (events per second of
-	// wall time) of the most recent completed computation — a sweep
-	// reports the aggregate across its runs. It is a health signal for
-	// the simulation hot loop: a sustained drop flags a performance
-	// regression even while request latencies hide it behind caching.
-	EventsPerSec *Gauge
+	// wall time) as an exponentially weighted moving average over roughly
+	// the last minute, decaying toward zero across idle scrapes. It is a
+	// health signal for the simulation hot loop: a sustained drop flags a
+	// performance regression even while request latencies hide it behind
+	// caching.
+	EventsPerSec *obs.RateEWMA
 
 	endpoints []string
 }
@@ -116,23 +136,25 @@ type Metrics struct {
 // NewMetrics returns an empty registry for the given endpoint labels.
 func NewMetrics(endpoints ...string) *Metrics {
 	m := &Metrics{
-		Requests:         make(map[string]*Counter, len(endpoints)),
-		Latency:          make(map[string]*Histogram, len(endpoints)),
-		CacheHits:        &Counter{},
-		CacheMisses:      &Counter{},
-		DedupJoins:       &Counter{},
-		QueueRejects:     &Counter{},
-		DeadlineExceeded: &Counter{},
-		SimRuns:          &Counter{},
-		SimEvents:        &Counter{},
-		StoreHits:        &Counter{},
-		StoreWrites:      &Counter{},
-		StoreErrors:      &Counter{},
-		QueueDepth:       &Gauge{},
-		InFlight:         &Gauge{},
-		StoreBytes:       &Gauge{},
-		EventsPerSec:     &Gauge{},
-		endpoints:        append([]string(nil), endpoints...),
+		Requests:          make(map[string]*Counter, len(endpoints)),
+		Latency:           make(map[string]*Histogram, len(endpoints)),
+		CacheHits:         &Counter{},
+		CacheMisses:       &Counter{},
+		DedupJoins:        &Counter{},
+		QueueRejects:      &Counter{},
+		DeadlineExceeded:  &Counter{},
+		SimRuns:           &Counter{},
+		SimEvents:         &Counter{},
+		StoreHits:         &Counter{},
+		StoreWrites:       &Counter{},
+		StoreErrors:       &Counter{},
+		QueueDepth:        &Gauge{},
+		InFlight:          &Gauge{},
+		StoreBytes:        &Gauge{},
+		SimRunEvents:      newHistogram(defEventBounds),
+		QueueDepthSamples: newHistogram(defDepthBounds),
+		EventsPerSec:      obs.NewRateEWMA(0),
+		endpoints:         append([]string(nil), endpoints...),
 	}
 	sort.Strings(m.endpoints)
 	for _, ep := range m.endpoints {
@@ -142,52 +164,90 @@ func NewMetrics(endpoints ...string) *Metrics {
 	return m
 }
 
-// RecordThroughput sets EventsPerSec from an executed-event count and the
+// RecordThroughput feeds EventsPerSec from an executed-event count and the
 // simulation wall time that produced it. For sweeps, pass the sum of the
-// per-run elapsed times rather than the sweep's wall time, so the gauge
+// per-run elapsed times rather than the sweep's wall time, so the rate
 // reads as per-worker hot-loop throughput regardless of parallelism.
 // Zero-event or sub-resolution measurements are dropped rather than
 // recorded as zero.
 func (m *Metrics) RecordThroughput(events uint64, elapsed time.Duration) {
-	if events == 0 || elapsed <= 0 {
-		return
-	}
-	m.EventsPerSec.Set(int64(float64(events) / elapsed.Seconds()))
+	m.EventsPerSec.Observe(events, elapsed)
 }
 
-// WriteText renders the registry in the Prometheus text exposition format.
+// metricHeader emits the # HELP and # TYPE comment lines for one family.
+func metricHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// writeCounter emits one unlabeled counter family.
+func writeCounter(w io.Writer, name, help string, c *Counter) {
+	metricHeader(w, name, "counter", help)
+	fmt.Fprintf(w, "%s %d\n", name, c.Value())
+}
+
+// writeGauge emits one unlabeled gauge family.
+func writeGauge(w io.Writer, name, help string, v int64) {
+	metricHeader(w, name, "gauge", help)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// writeHistogram emits one histogram's series with an optional fixed label.
+// Prometheus requires the cumulative bucket counts, a "+Inf" bucket equal to
+// _count, and the le label last in each bucket line; label order within a
+// family must not drift between scrapes, which is guaranteed here by
+// constructing each line from the same format string.
+func writeHistogram(w io.Writer, name, label, value string, h *Histogram) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sel := ""
+	if label != "" {
+		sel = fmt.Sprintf("%s=%q,", label, value)
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, sel, trimFloat(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, sel, h.count)
+	if label != "" {
+		sel = fmt.Sprintf("{%s=%q}", label, value)
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, sel, h.sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sel, h.count)
+}
+
+// WriteText renders the registry in the Prometheus text exposition format:
+// every family is announced with # HELP and # TYPE lines, counters carry the
+// _total suffix, and histogram buckets are cumulative with a trailing +Inf.
+// The output is stable across scrapes (fixed family order, fixed label
+// order) so diff-based scrape tests stay meaningful.
 func (m *Metrics) WriteText(w io.Writer) {
+	metricHeader(w, "hexd_requests_total", "counter", "HTTP requests served, by endpoint.")
 	for _, ep := range m.endpoints {
 		fmt.Fprintf(w, "hexd_requests_total{endpoint=%q} %d\n", ep, m.Requests[ep].Value())
 	}
-	fmt.Fprintf(w, "hexd_cache_hits_total %d\n", m.CacheHits.Value())
-	fmt.Fprintf(w, "hexd_cache_misses_total %d\n", m.CacheMisses.Value())
-	fmt.Fprintf(w, "hexd_dedup_joins_total %d\n", m.DedupJoins.Value())
-	fmt.Fprintf(w, "hexd_queue_rejects_total %d\n", m.QueueRejects.Value())
-	fmt.Fprintf(w, "hexd_deadline_exceeded_total %d\n", m.DeadlineExceeded.Value())
-	fmt.Fprintf(w, "hexd_sim_runs_total %d\n", m.SimRuns.Value())
-	fmt.Fprintf(w, "hexd_sim_events_total %d\n", m.SimEvents.Value())
-	fmt.Fprintf(w, "hexd_events_per_sec %d\n", m.EventsPerSec.Value())
-	fmt.Fprintf(w, "hexd_store_hits_total %d\n", m.StoreHits.Value())
-	fmt.Fprintf(w, "hexd_store_writes_total %d\n", m.StoreWrites.Value())
-	fmt.Fprintf(w, "hexd_store_errors_total %d\n", m.StoreErrors.Value())
-	fmt.Fprintf(w, "hexd_store_bytes %d\n", m.StoreBytes.Value())
-	fmt.Fprintf(w, "hexd_queue_depth %d\n", m.QueueDepth.Value())
-	fmt.Fprintf(w, "hexd_in_flight %d\n", m.InFlight.Value())
+	writeCounter(w, "hexd_cache_hits_total", "Result-cache lookups answered from memory.", m.CacheHits)
+	writeCounter(w, "hexd_cache_misses_total", "Result-cache lookups that missed memory.", m.CacheMisses)
+	writeCounter(w, "hexd_dedup_joins_total", "Requests coalesced onto an in-flight computation.", m.DedupJoins)
+	writeCounter(w, "hexd_queue_rejects_total", "Submissions rejected because the job queue was full.", m.QueueRejects)
+	writeCounter(w, "hexd_deadline_exceeded_total", "Requests that missed their deadline.", m.DeadlineExceeded)
+	writeCounter(w, "hexd_sim_runs_total", "Simulations actually executed (post-cache, post-dedup).", m.SimRuns)
+	writeCounter(w, "hexd_sim_events_total", "Simulation events executed, including cancelled runs.", m.SimEvents)
+	writeGauge(w, "hexd_events_per_sec", "Simulation hot-loop throughput, EWMA over ~1 minute.", m.EventsPerSec.Value())
+	writeCounter(w, "hexd_store_hits_total", "Cache misses answered from the durable store.", m.StoreHits)
+	writeCounter(w, "hexd_store_writes_total", "Records persisted to the durable store.", m.StoreWrites)
+	writeCounter(w, "hexd_store_errors_total", "Failed durable-store reads or writes.", m.StoreErrors)
+	writeGauge(w, "hexd_store_bytes", "On-disk size of live store records.", m.StoreBytes.Value())
+	writeGauge(w, "hexd_queue_depth", "Jobs currently queued.", m.QueueDepth.Value())
+	writeGauge(w, "hexd_in_flight", "Computations currently executing.", m.InFlight.Value())
+	metricHeader(w, "hexd_request_seconds", "histogram", "Request latency in seconds, by endpoint.")
 	for _, ep := range m.endpoints {
-		h := m.Latency[ep]
-		h.mu.Lock()
-		cum := uint64(0)
-		for i, b := range h.bounds {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "hexd_request_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, trimFloat(b), cum)
-		}
-		cum += h.counts[len(h.bounds)]
-		fmt.Fprintf(w, "hexd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
-		fmt.Fprintf(w, "hexd_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
-		fmt.Fprintf(w, "hexd_request_seconds_count{endpoint=%q} %d\n", ep, h.count)
-		h.mu.Unlock()
+		writeHistogram(w, "hexd_request_seconds", "endpoint", ep, m.Latency[ep])
 	}
+	metricHeader(w, "hexd_sim_run_events", "histogram", "Executed events per completed computation.")
+	writeHistogram(w, "hexd_sim_run_events", "", "", m.SimRunEvents)
+	metricHeader(w, "hexd_queue_depth_samples", "histogram", "Queue occupancy observed at each submission.")
+	writeHistogram(w, "hexd_queue_depth_samples", "", "", m.QueueDepthSamples)
 }
 
 // trimFloat formats a bucket bound without trailing zeros.

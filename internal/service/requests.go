@@ -15,11 +15,22 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/fault"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/sim"
 	"repro/internal/source"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
+
+// flightTracer adapts a possibly-nil recorder to core.Config.Trace without
+// wrapping a nil pointer in a non-nil interface.
+func flightTracer(fr *obs.FlightRecorder) core.Tracer {
+	if fr == nil {
+		return nil
+	}
+	return fr
+}
 
 // RunRequest is the body of POST /v1/run: one single-pulse simulation.
 type RunRequest struct {
@@ -49,6 +60,12 @@ type RunRequest struct {
 	// string (the parsed values are what the key uses).
 	scenario source.Scenario `json:"-"`
 	behavior fault.Behavior  `json:"-"`
+	// flightArm, set by the HTTP layer from ?trace=1, arms the sim flight
+	// recorder for this computation. Deliberately excluded from the cache
+	// key: a traced request whose result is already cached (or in flight
+	// under an unarmed leader) replays that result without a dump — the
+	// trace's notes say which path it took.
+	flightArm bool `json:"-"`
 }
 
 // normalize fills defaults and parses enum fields; it must be called
@@ -136,13 +153,17 @@ func summaryJSON(s stats.Summary) SummaryJSON {
 
 // computeRun executes one single-pulse simulation. Cancelled runs still
 // report their partial event counts to the metrics registry before the
-// error propagates.
+// error propagates, and — when the flight recorder is armed — still attach
+// their audited event-stream tail to the request trace.
 func (s *Service) computeRun(ctx context.Context, r RunRequest) (*cached, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := obs.FromContext(ctx)
+	endBuild := tr.StartSpan("grid-build")
 	h, err := buildGrid(r.L, r.W, r.HexPlus)
 	if err != nil {
+		endBuild()
 		return nil, errBadRequest{err}
 	}
 	plan := fault.NewPlan(h.NumNodes())
@@ -151,6 +172,7 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*cached, error)
 		rngF := sim.NewRNG(sim.DeriveSeed(r.Seed, "faults"))
 		placed, err = fault.PlaceRandom(h.Graph, r.Faults, nil, rngF, 0)
 		if err != nil {
+			endBuild()
 			return nil, errBadRequest{err}
 		}
 		for _, n := range placed {
@@ -163,7 +185,14 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*cached, error)
 	params := core.DefaultParams()
 	offsets := source.Offsets(r.scenario, r.W, params.Bounds,
 		sim.NewRNG(sim.DeriveSeed(r.Seed, "offsets")))
+	endBuild()
+	var fr *obs.FlightRecorder
+	if r.flightArm {
+		fr = obs.NewFlightRecorder(s.opts.FlightEvents)
+		tr.Note("flight-armed")
+	}
 	start := time.Now()
+	endSim := tr.StartSpan("sim")
 	res, err := core.Run(core.Config{
 		Graph:    h.Graph,
 		Params:   params,
@@ -172,15 +201,35 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*cached, error)
 		Schedule: source.SinglePulse(offsets),
 		Seed:     r.Seed,
 		Context:  ctx,
+		Trace:    flightTracer(fr),
 	})
+	endSim()
 	s.Metrics.SimRuns.Inc()
 	if res != nil {
 		s.Metrics.SimEvents.Add(res.Events)
+		s.Metrics.SimRunEvents.Observe(float64(res.Events))
 		s.Metrics.RecordThroughput(res.Events, time.Since(start))
+	}
+	if fr != nil {
+		// Audit the captured window against this run's own topology and
+		// fault plan; embed the raw events only for failed runs (they are
+		// the post-mortem payload) or when the audit itself failed.
+		aud := &trace.Auditor{G: h.Graph, Plan: plan, Params: params}
+		dump := obs.NewFlightDump(fr, aud, err != nil)
+		tr.SetFlight(dump)
+		if !dump.AuditOK {
+			s.opts.Logger.Warn("flight-recorder audit failed",
+				"request_id", tr.ID(),
+				"audit_error", dump.AuditError,
+				"captured", dump.Captured,
+				"dropped", dump.Dropped)
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
+	endEncode := tr.StartSpan("encode")
+	defer endEncode()
 	wave := analysis.WaveFromResult(h.Graph, res, plan, 0)
 	switch r.Output {
 	case "csv":
@@ -298,7 +347,10 @@ func (s *Service) computeSpec(ctx context.Context, r SpecRequest) (*cached, erro
 		Seed:      r.Seed,
 		HexPlus:   r.HexPlus,
 	}
+	tr := obs.FromContext(ctx)
+	endSweep := tr.StartSpan("experiment-sweep")
 	outs, err := experiment.RunManyCtx(ctx, spec)
+	endSweep()
 	s.Metrics.SimRuns.Add(uint64(len(outs)))
 	if err != nil {
 		return nil, err
@@ -310,7 +362,10 @@ func (s *Service) computeSpec(ctx context.Context, r SpecRequest) (*cached, erro
 		simTime += o.Elapsed
 	}
 	s.Metrics.SimEvents.Add(events)
+	s.Metrics.SimRunEvents.Observe(float64(events))
 	s.Metrics.RecordThroughput(events, simTime)
+	endEncode := tr.StartSpan("encode")
+	defer endEncode()
 	intra, inter := experiment.CollectSkews(outs, r.ExcludeHops)
 	resp := SpecResponse{
 		L: r.L, W: r.W, Scenario: r.Scenario, Faults: r.Faults,

@@ -15,10 +15,12 @@ package service
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -61,6 +63,17 @@ type Options struct {
 	// (write-behind). Results are deterministic functions of their
 	// canonical key, so a disk hit is byte-identical to a recompute.
 	Store *store.Store
+	// Logger receives the service's structured request log (one line per
+	// completed request, Warn for rejections and failures). Default
+	// slog.Default().
+	Logger *slog.Logger
+	// TraceRing bounds the ring of completed request traces served by
+	// GET /v1/debug/requests (default 64); negative disables the ring.
+	TraceRing int
+	// FlightEvents bounds the sim flight recorder armed per-request with
+	// /v1/run?trace=1: the recorder retains the last FlightEvents events
+	// of the run (default 4096); negative disables flight recording.
+	FlightEvents int
 }
 
 // withDefaults fills unset fields.
@@ -86,6 +99,15 @@ func (o Options) withDefaults() Options {
 	if o.MaxRuns <= 0 {
 		o.MaxRuns = 2000
 	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	if o.TraceRing == 0 {
+		o.TraceRing = 64
+	}
+	if o.FlightEvents == 0 {
+		o.FlightEvents = 4096
+	}
 	return o
 }
 
@@ -110,6 +132,7 @@ type Service struct {
 	Metrics *Metrics
 	cache   *lruCache
 	store   *store.Store // nil when the durable tier is disabled
+	ring    *obs.Ring    // completed request traces (/v1/debug/requests)
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -127,6 +150,7 @@ func New(opts Options) *Service {
 		Metrics:  NewMetrics("run", "spec"),
 		cache:    newLRUCache(opts.CacheEntries),
 		store:    opts.Store,
+		ring:     obs.NewRing(opts.TraceRing),
 		inflight: make(map[string]*flight),
 		jobs:     make(chan func(), opts.QueueDepth),
 	}
@@ -181,23 +205,31 @@ func (s *Service) Close() {
 // leader request going away — only by the last interested waiter leaving.
 // ctx governs only how long this caller waits.
 func (s *Service) result(ctx context.Context, timeout time.Duration, key string, compute func(context.Context) (*cached, error)) (*cached, error) {
+	tr := obs.FromContext(ctx)
+	endLookup := tr.StartSpan("cache-lookup")
 	if v, ok := s.cache.Get(key); ok {
+		endLookup()
+		tr.Note("cache-hit")
 		s.Metrics.CacheHits.Inc()
 		return v, nil
 	}
 	s.Metrics.CacheMisses.Inc()
 	if v, ok := s.storeGet(key); ok {
+		endLookup()
+		tr.Note("store-hit")
 		// Promote the disk hit so repeats stay in memory. Read-through
 		// does not write back: the record is already durable.
 		s.cache.Put(key, v)
 		return v, nil
 	}
+	endLookup()
 
 	s.mu.Lock()
 	if f, ok := s.inflight[key]; ok {
 		f.waiters++
 		s.mu.Unlock()
 		s.Metrics.DedupJoins.Inc()
+		tr.Note("join-inflight")
 		return s.wait(ctx, f)
 	}
 	// Re-check the cache with the in-flight map locked: a flight that
@@ -206,6 +238,7 @@ func (s *Service) result(ctx context.Context, timeout time.Duration, key string,
 	// sees it and no identical simulation ever runs twice.
 	if v, ok := s.cache.Get(key); ok {
 		s.mu.Unlock()
+		tr.Note("cache-hit")
 		s.Metrics.CacheHits.Inc()
 		return v, nil
 	}
@@ -214,8 +247,14 @@ func (s *Service) result(ctx context.Context, timeout time.Duration, key string,
 		return nil, ErrShuttingDown
 	}
 	fctx, cancel := context.WithTimeout(context.Background(), timeout)
+	// The leader's trace rides on the detached context so the computation
+	// keeps reporting spans (and a late flight dump) into it even after
+	// the leader's own HTTP context is gone.
+	fctx = obs.WithTrace(fctx, tr)
 	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	enqueued := time.Now()
 	job := func() {
+		tr.AddSpan("queue-wait", enqueued, time.Now())
 		f.val, f.err = compute(fctx)
 		cancel() // release the deadline timer; the flight is decided
 		if f.err == nil {
@@ -234,6 +273,9 @@ func (s *Service) result(ctx context.Context, timeout time.Duration, key string,
 			s.storePut(key, f.val)
 		}
 	}
+	// Sample the queue occupancy seen by this submission (including the
+	// full-queue case below) so load headroom is visible between scrapes.
+	s.Metrics.QueueDepthSamples.Observe(float64(len(s.jobs)))
 	select {
 	case s.jobs <- job:
 		s.inflight[key] = f

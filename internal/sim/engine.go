@@ -46,6 +46,7 @@ type Engine struct {
 	interrupt  bool
 	dispatcher Dispatcher
 	batcher    BatchDispatcher // dispatcher's batch extension, if any
+	batchOff   bool            // SetBatching(false): ignore the extension
 	batch      []EventRec      // reusable same-instant batch scratch
 	stopCheck  func() bool
 	stopEvery  uint64
@@ -104,7 +105,25 @@ func (e *Engine) ScheduleAfter(delay Time, fn func()) {
 // BatchDispatcher receives same-instant typed events in batches.
 func (e *Engine) SetDispatcher(d Dispatcher) {
 	e.dispatcher = d
-	e.batcher, _ = d.(BatchDispatcher)
+	e.batcher = nil
+	if !e.batchOff {
+		e.batcher, _ = d.(BatchDispatcher)
+	}
+}
+
+// SetBatching enables or disables the batched fast path for typed events.
+// Batching is on by default whenever the dispatcher implements
+// BatchDispatcher; turning it off forces one Dispatch call per event. The
+// execution order is identical either way (pop order has unique (at, seq)
+// keys), so the toggle exists to bisect dispatcher issues and to let tests
+// pin that tracer callbacks are independent of the dispatch path. Like the
+// dispatcher itself, the setting survives Reset.
+func (e *Engine) SetBatching(on bool) {
+	e.batchOff = !on
+	e.batcher = nil
+	if on {
+		e.batcher, _ = e.dispatcher.(BatchDispatcher)
+	}
 }
 
 // SetHorizonHint sizes the event queue's calendar ring so that events

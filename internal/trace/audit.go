@@ -227,6 +227,136 @@ func (a *Auditor) AuditSleepDiscipline(r *Recorder) error {
 	return nil
 }
 
+// AuditTail audits a *suffix window* of a run's event stream, as captured
+// by a bounded flight recorder whose ring dropped an arbitrary prefix. The
+// guard replay of AuditGuards is impossible without the full history (the
+// memory flags at the window start are unknown), so AuditTail verifies
+// every property that remains decidable on a contiguous tail:
+//
+//   - time never goes backwards and node/input indices are in range;
+//   - every send's delay lies within [d−, d+];
+//   - every delivery whose matching send *must* fall inside the window
+//     (arrival − d+ ≥ window start) has one; earlier sends are tolerated;
+//   - accepted deliveries only ever cross existing, correct links into
+//     correct forwarding nodes, and faulty nodes never fire;
+//   - source fires come only from layer 0;
+//   - the sleep discipline holds: a forwarding fire is followed by a sleep
+//     (a leading sleep at the window boundary may have lost its fire), no
+//     node fires while provably sleeping, and every wake happens within
+//     [TSleepMin, TSleepMax] of its sleep — or, when the sleep predates
+//     the window, no later than windowStart + TSleepMax.
+//
+// For a window that is actually the complete run, use AuditAll, which
+// additionally replays the guards.
+func (a *Auditor) AuditTail(r *Recorder) error {
+	evs := r.Events
+	if len(evs) == 0 {
+		return nil
+	}
+	ws := evs[0].At
+	prev := ws
+	numNodes := a.G.NumNodes()
+	pending := make(map[sendKey]int)
+	sleptAt := make(map[int]sim.Time)
+	pendingSleep := make(map[int]bool)
+	for i, e := range evs {
+		if e.At < prev {
+			return fmt.Errorf("trace: event %d: time went backwards (%v after %v)", i, e.At, prev)
+		}
+		prev = e.At
+		if e.Node < 0 || e.Node >= numNodes {
+			return fmt.Errorf("trace: event %d: node %d out of range", i, e.Node)
+		}
+		switch e.Kind {
+		case KindSend:
+			d := e.Arrival - e.At
+			if d < a.Params.Bounds.Min || d > a.Params.Bounds.Max {
+				return fmt.Errorf("trace: event %d: send %d→%d has delay %v outside %v",
+					i, e.Node, e.Peer, d, a.Params.Bounds)
+			}
+			pending[sendKey{e.Node, e.Peer, e.Arrival}]++
+		case KindDeliver:
+			k := sendKey{e.Peer, e.Node, e.At}
+			if pending[k] > 0 {
+				pending[k]--
+			} else if e.At-a.Params.Bounds.Max >= ws {
+				// The matching send's time is at least arrival − d+, which
+				// lies inside the window: it should have been recorded.
+				return fmt.Errorf("trace: event %d: delivery %d→%d at %v without matching send in window",
+					i, e.Peer, e.Node, e.At)
+			}
+			if !e.Accepted {
+				continue
+			}
+			idx := -1
+			for j, l := range a.G.In(e.Node) {
+				if l.From == e.Peer {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				return fmt.Errorf("trace: event %d: delivery over non-existent link %d→%d", i, e.Peer, e.Node)
+			}
+			if a.Plan.Link(e.Peer, e.Node) != fault.LinkCorrect {
+				return fmt.Errorf("trace: event %d: accepted delivery over a stuck link %d→%d", i, e.Peer, e.Node)
+			}
+			if a.Plan.IsFaulty(e.Node) || a.G.LayerOf(e.Node) == 0 {
+				return fmt.Errorf("trace: event %d: faulty or source node %d accepted a delivery", i, e.Node)
+			}
+		case KindFlagExpire:
+			if e.Peer < 0 || e.Peer >= len(a.G.In(e.Node)) {
+				return fmt.Errorf("trace: event %d: flag expiry with bad input index %d", i, e.Peer)
+			}
+		case KindFire:
+			if e.Source {
+				if a.G.LayerOf(e.Node) != 0 {
+					return fmt.Errorf("trace: event %d: source fire by non-source node %d", i, e.Node)
+				}
+				continue
+			}
+			if a.Plan.IsFaulty(e.Node) {
+				return fmt.Errorf("trace: event %d: faulty node %d fired", i, e.Node)
+			}
+			if _, asleep := sleptAt[e.Node]; asleep {
+				return fmt.Errorf("trace: event %d: node %d fired while sleeping", i, e.Node)
+			}
+			if pendingSleep[e.Node] {
+				return fmt.Errorf("trace: event %d: node %d fired twice without sleeping", i, e.Node)
+			}
+			pendingSleep[e.Node] = true
+		case KindSleep:
+			if !pendingSleep[e.Node] && e.At != ws {
+				// At the exact window boundary the fire may have been the
+				// dropped event (fire and sleep share a timestamp).
+				return fmt.Errorf("trace: event %d: sleep of node %d without a preceding fire", i, e.Node)
+			}
+			pendingSleep[e.Node] = false
+			sleptAt[e.Node] = e.At
+		case KindWake:
+			if at, ok := sleptAt[e.Node]; ok {
+				d := e.At - at
+				if d < a.Params.TSleepMin || d > a.Params.TSleepMax {
+					return fmt.Errorf("trace: event %d: node %d slept %v, outside [%v, %v]",
+						i, e.Node, d, a.Params.TSleepMin, a.Params.TSleepMax)
+				}
+				delete(sleptAt, e.Node)
+			} else if e.At > ws+a.Params.TSleepMax {
+				// Even a sleep just before the window start must wake by
+				// windowStart + TSleepMax.
+				return fmt.Errorf("trace: event %d: wake of node %d at %v too late for any sleep before the window",
+					i, e.Node, e.At)
+			}
+		}
+	}
+	for n, p := range pendingSleep {
+		if p {
+			return fmt.Errorf("trace: node %d fired without entering sleep", n)
+		}
+	}
+	return nil
+}
+
 // AuditFireCounts checks that every correct forwarding node fired exactly
 // `pulses` times and every correct source exactly `pulses` times.
 func (a *Auditor) AuditFireCounts(r *Recorder, pulses int) error {

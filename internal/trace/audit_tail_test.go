@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// multiPulseTrace produces a rich event stream — wakes, link-timer expiries,
+// several sleep cycles — for the suffix-window tests.
+func multiPulseTrace(t *testing.T) (*Recorder, *core.Config) {
+	t.Helper()
+	h := grid.MustHex(8, 6)
+	b := delay.Paper
+	return tracedRun(t, h, func(c *core.Config) {
+		c.Params = core.Params{
+			Bounds:    b,
+			TLinkMin:  30 * sim.Nanosecond,
+			TLinkMax:  32 * sim.Nanosecond,
+			TSleepMin: 80 * sim.Nanosecond,
+			TSleepMax: 84 * sim.Nanosecond,
+		}
+		c.Schedule = source.NewSchedule(source.UniformDPlus, h.W, 3, b, 300*sim.Nanosecond, sim.NewRNG(2))
+	})
+}
+
+// TestAuditTailAcceptsSuffixWindows pins the flight-recorder contract: any
+// contiguous suffix of a clean run's event stream passes the tail audit,
+// whatever prefix the ring happened to drop.
+func TestAuditTailAcceptsSuffixWindows(t *testing.T) {
+	rec, cfg := multiPulseTrace(t)
+	a := auditor(cfg)
+	n := len(rec.Events)
+	if n < 500 {
+		t.Fatalf("trace too short for suffix tests: %d events", n)
+	}
+	for _, start := range []int{0, 1, 7, n / 4, n / 2, n - 100, n - 1, n} {
+		win := &Recorder{Events: rec.Events[start:]}
+		if err := a.AuditTail(win); err != nil {
+			t.Errorf("suffix [%d:] rejected: %v", start, err)
+		}
+	}
+}
+
+func TestAuditTailDetectsBackwardsTime(t *testing.T) {
+	h := grid.MustHex(6, 6)
+	a := &Auditor{G: h.Graph, Plan: fault.NewPlan(h.NumNodes()), Params: core.DefaultParams()}
+	evs := []Event{
+		{Kind: KindFire, At: 100 * sim.Nanosecond, Node: h.NodeID(0, 0), Source: true},
+		{Kind: KindFire, At: 50 * sim.Nanosecond, Node: h.NodeID(0, 1), Source: true},
+	}
+	err := a.AuditTail(&Recorder{Events: evs})
+	if err == nil || !strings.Contains(err.Error(), "backwards") {
+		t.Errorf("backwards time not detected: %v", err)
+	}
+}
+
+func TestAuditTailDetectsBadDelay(t *testing.T) {
+	h := grid.MustHex(6, 6)
+	a := &Auditor{G: h.Graph, Plan: fault.NewPlan(h.NumNodes()), Params: core.DefaultParams()}
+	evs := []Event{{
+		Kind: KindSend, At: 100 * sim.Nanosecond, Node: h.NodeID(1, 1), Peer: h.NodeID(2, 1),
+		Arrival: 101 * sim.Nanosecond, // 1 ns, far below d−
+	}}
+	err := a.AuditTail(&Recorder{Events: evs})
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("out-of-bounds delay not detected: %v", err)
+	}
+}
+
+func TestAuditTailDeliveryMatching(t *testing.T) {
+	h := grid.MustHex(6, 6)
+	a := &Auditor{G: h.Graph, Plan: fault.NewPlan(h.NumNodes()), Params: core.DefaultParams()}
+
+	// A delivery whose matching send would predate the window (arrival − d+
+	// before the window start) is tolerated: the ring may have dropped it.
+	early := []Event{{Kind: KindDeliver, At: 5 * sim.Nanosecond, Node: h.NodeID(2, 1), Peer: h.NodeID(1, 1)}}
+	if err := a.AuditTail(&Recorder{Events: early}); err != nil {
+		t.Errorf("boundary orphan delivery rejected: %v", err)
+	}
+
+	// A delivery far enough into the window that its send must have been
+	// recorded is an orphan.
+	orphan := []Event{
+		{Kind: KindFire, At: 0, Node: h.NodeID(0, 0), Source: true},
+		{Kind: KindDeliver, At: 50 * sim.Nanosecond, Node: h.NodeID(2, 1), Peer: h.NodeID(1, 1)},
+	}
+	err := a.AuditTail(&Recorder{Events: orphan})
+	if err == nil || !strings.Contains(err.Error(), "without matching send") {
+		t.Errorf("orphan delivery not detected: %v", err)
+	}
+
+	// The same delivery with its send present passes.
+	matched := []Event{
+		{Kind: KindFire, At: 0, Node: h.NodeID(0, 0), Source: true},
+		{Kind: KindSend, At: 42 * sim.Nanosecond, Node: h.NodeID(1, 1), Peer: h.NodeID(2, 1),
+			Arrival: 50 * sim.Nanosecond},
+		{Kind: KindDeliver, At: 50 * sim.Nanosecond, Node: h.NodeID(2, 1), Peer: h.NodeID(1, 1)},
+	}
+	if err := a.AuditTail(&Recorder{Events: matched}); err != nil {
+		t.Errorf("matched delivery rejected: %v", err)
+	}
+}
+
+func TestAuditTailSleepDiscipline(t *testing.T) {
+	h := grid.MustHex(6, 6)
+	p := core.DefaultParams()
+	a := &Auditor{G: h.Graph, Plan: fault.NewPlan(h.NumNodes()), Params: p}
+	n := h.NodeID(2, 2)
+	anchor := Event{Kind: KindFire, At: 0, Node: h.NodeID(0, 0), Source: true}
+
+	cases := []struct {
+		name string
+		evs  []Event
+		want string // "" = must pass
+	}{
+		{"fire-sleep-wake cycle", []Event{
+			anchor,
+			{Kind: KindFire, At: 10 * sim.Nanosecond, Node: n},
+			{Kind: KindSleep, At: 10 * sim.Nanosecond, Node: n},
+			{Kind: KindWake, At: 10*sim.Nanosecond + p.TSleepMin, Node: n},
+		}, ""},
+		{"boundary sleep lost its fire", []Event{
+			{Kind: KindSleep, At: 77 * sim.Nanosecond, Node: n}, // first event: window boundary
+		}, ""},
+		{"mid-window sleep without fire", []Event{
+			anchor,
+			{Kind: KindSleep, At: 30 * sim.Nanosecond, Node: n},
+		}, "without a preceding fire"},
+		{"fire without sleep", []Event{
+			anchor,
+			{Kind: KindFire, At: 10 * sim.Nanosecond, Node: n},
+			{Kind: KindFire, At: 20 * sim.Nanosecond, Node: n},
+		}, "fired twice"},
+		{"fire while sleeping", []Event{
+			{Kind: KindSleep, At: 0, Node: n},
+			{Kind: KindFire, At: 10 * sim.Nanosecond, Node: n},
+		}, "while sleeping"},
+		{"short sleep", []Event{
+			anchor,
+			{Kind: KindFire, At: 10 * sim.Nanosecond, Node: n},
+			{Kind: KindSleep, At: 10 * sim.Nanosecond, Node: n},
+			{Kind: KindWake, At: 11 * sim.Nanosecond, Node: n},
+		}, "outside"},
+		{"boundary wake in budget", []Event{
+			anchor,
+			{Kind: KindWake, At: p.TSleepMax / 2, Node: n},
+		}, ""},
+		{"wake too late for any sleep", []Event{
+			anchor,
+			{Kind: KindWake, At: p.TSleepMax + sim.Nanosecond, Node: n},
+		}, "too late"},
+		{"truncated fire still expects sleep", []Event{
+			anchor,
+			{Kind: KindFire, At: 10 * sim.Nanosecond, Node: n},
+		}, "without entering sleep"},
+	}
+	for _, tc := range cases {
+		err := a.AuditTail(&Recorder{Events: tc.evs})
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected failure: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAuditTailDetectsFaultyFire(t *testing.T) {
+	h := grid.MustHex(6, 6)
+	plan := fault.NewPlan(h.NumNodes())
+	bad := h.NodeID(2, 2)
+	plan.SetBehavior(bad, fault.Byzantine)
+	a := &Auditor{G: h.Graph, Plan: plan, Params: core.DefaultParams()}
+	evs := []Event{{Kind: KindFire, At: 0, Node: bad}}
+	err := a.AuditTail(&Recorder{Events: evs})
+	if err == nil || !strings.Contains(err.Error(), "faulty") {
+		t.Errorf("faulty fire not detected: %v", err)
+	}
+}
+
+func TestAuditTailEmptyWindowPasses(t *testing.T) {
+	h := grid.MustHex(4, 5)
+	a := &Auditor{G: h.Graph, Plan: fault.NewPlan(h.NumNodes()), Params: core.DefaultParams()}
+	if err := a.AuditTail(&Recorder{}); err != nil {
+		t.Fatalf("empty window rejected: %v", err)
+	}
+}
+
+// TestGoldenRunTracePasses traces the repository's golden configuration
+// (the 50×20 grid, scenario (iii), seed 424242 pinned by golden_test.go at
+// the repo root) and replays it through the full audit suite plus the tail
+// audit on ring-sized suffixes — the exact windows a hexd flight recorder
+// would capture.
+func TestGoldenRunTracePasses(t *testing.T) {
+	h := grid.MustHex(50, 20)
+	rec, cfg := tracedRun(t, h, func(c *core.Config) {
+		c.Seed = 424242
+		c.Schedule = source.SinglePulse(source.Offsets(source.UniformDPlus, h.W,
+			delay.Paper, sim.NewRNG(sim.DeriveSeed(424242, "offsets"))))
+	})
+	a := auditor(cfg)
+	if err := a.AuditAll(rec); err != nil {
+		t.Fatalf("golden run failed the full audit: %v", err)
+	}
+	if err := a.AuditFireCounts(rec, 1); err != nil {
+		t.Fatalf("golden run failed fire counts: %v", err)
+	}
+	for _, window := range []int{256, 4096} {
+		if window > len(rec.Events) {
+			continue
+		}
+		win := &Recorder{Events: rec.Events[len(rec.Events)-window:]}
+		if err := a.AuditTail(win); err != nil {
+			t.Fatalf("golden run's last-%d window failed the tail audit: %v", window, err)
+		}
+	}
+}

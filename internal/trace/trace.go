@@ -48,6 +48,16 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// ParseKind inverts Kind.String, for deserializing exported traces.
+func ParseKind(name string) (Kind, bool) {
+	for k := KindSend; k <= KindWake; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // Event is one recorded simulation event.
 type Event struct {
 	Kind Kind
