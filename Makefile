@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json bench-compare obs-overhead fuzz vet fmt cover repro examples clean
+.PHONY: all build test test-short race bench bench-json bench-compare obs-overhead fuzz vet fmt cover cluster-smoke repro examples clean
 
 all: build test
 
@@ -57,6 +57,13 @@ cover:
 	@$(GO) tool cover -func=cover_store.out | awk '$$1=="total:"{sub(/%/,"",$$3); \
 		printf "internal/store coverage: %s%%\n", $$3; \
 		if ($$3+0 < 85) { print "FAIL: internal/store coverage below 85%"; exit 1 }}'
+
+# Fleet smoke: boot a 3-node in-process fleet behind the router, spray
+# concurrent requests, and assert single fleet-wide execution, node-loss
+# re-homing with zero corrupt results, and a clean drain — all under the
+# race detector.
+cluster-smoke:
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/coalesce/
 
 vet:
 	$(GO) vet ./...

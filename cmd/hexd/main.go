@@ -5,10 +5,18 @@
 // With -store-dir, results are also persisted to a disk-backed,
 // checksummed store that survives restarts (see DESIGN.md §10).
 //
+// With -router, hexd is instead a fleet router: it executes nothing
+// locally and rendezvous-hashes canonical request keys across the
+// -peers backends, with health checks, deterministic re-homing on node
+// loss, and fleet-wide request coalescing (see DESIGN.md §13).
+//
 // Usage:
 //
 //	hexd -addr :8080 -workers 8 -queue 32 -cache 512 -timeout 30s \
 //	     -store-dir /var/lib/hexd -store-max-bytes 268435456
+//
+//	hexd -router -addr :8080 \
+//	     -peers http://n1:8081,http://n2:8081,http://n3:8081
 //
 // Endpoints:
 //
@@ -57,6 +65,11 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug|info|warn|error (debug logs every request)")
 		debugRing    = flag.Int("debug-requests", 64, "completed request traces kept for GET /v1/debug/requests (negative disables)")
 		flightEvents = flag.Int("flight-events", 4096, "sim events retained by the ?trace=1 flight recorder (negative disables)")
+
+		routerOn       = flag.Bool("router", false, "run as a fleet router: forward to -peers instead of executing locally")
+		peers          = flag.String("peers", "", "comma-separated backend base URLs for -router (e.g. http://n1:8081,http://n2:8081)")
+		healthInterval = flag.Duration("health-interval", 2*time.Second, "router: period of the backend /healthz probe loop")
+		routerCache    = flag.Int("router-cache", 0, "router: entries in the router's own result LRU (0 disables; shards hold the real caches)")
 	)
 	flag.Parse()
 
@@ -67,6 +80,24 @@ func main() {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
+
+	if *routerOn {
+		runRouter(logger, routerConfig{
+			addr:           *addr,
+			peers:          *peers,
+			healthInterval: *healthInterval,
+			cacheEntries:   *routerCache,
+			traceRing:      *debugRing,
+			drain:          *drainwindow,
+			limits: service.Options{
+				DefaultTimeout: *timeout,
+				MaxTimeout:     *maxTimeout,
+				MaxNodes:       *maxNodes,
+				MaxRuns:        *maxRuns,
+			},
+		})
+		return
+	}
 
 	var st *store.Store
 	if *storeDir != "" {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+// routerConfig carries the flag values that apply in -router mode.
+type routerConfig struct {
+	addr           string
+	peers          string
+	healthInterval time.Duration
+	cacheEntries   int
+	traceRing      int
+	drain          time.Duration
+	limits         service.Options
+}
+
+// runRouter is main's -router branch: the same serve/drain lifecycle as
+// a backend node, wrapped around a cluster.Router instead of a local
+// service.
+func runRouter(logger *slog.Logger, cfg routerConfig) {
+	var peerList []string
+	for _, p := range strings.Split(cfg.peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) == 0 {
+		logger.Error("-router requires -peers (comma-separated backend base URLs)")
+		os.Exit(2)
+	}
+	rt, err := cluster.New(cluster.Options{
+		Peers:          peerList,
+		Service:        cfg.limits,
+		HealthInterval: cfg.healthInterval,
+		CacheEntries:   cfg.cacheEntries,
+		TraceRing:      cfg.traceRing,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Error("router init failed", "err", err.Error())
+		os.Exit(2)
+	}
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("router listening", "addr", cfg.addr, "peers", peerList)
+
+	select {
+	case err := <-errc:
+		logger.Error("serve failed", "err", err.Error())
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logger.Info("router draining", "window", cfg.drain.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Warn("shutdown error", "err", err.Error())
+	}
+	rt.Close()
+	logger.Info("router drained, bye")
+}

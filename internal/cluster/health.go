@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// PeerStatus is one peer's view in the router's health report.
+type PeerStatus struct {
+	URL string `json:"url"`
+	Up  bool   `json:"up"`
+	// Fails is the current consecutive-failure count (0 for a healthy
+	// peer); it crosses the router's threshold to take the peer down.
+	Fails int `json:"fails,omitempty"`
+}
+
+// peerSet tracks the up/down state of the static peer list. A peer goes
+// down after failThreshold consecutive probe or forward failures and
+// comes back on the first successful health probe. All methods are safe
+// for concurrent use.
+type peerSet struct {
+	urls          []string
+	failThreshold int
+
+	mu    sync.Mutex
+	up    []bool
+	fails []int
+
+	onTransition func(i int, up bool) // metrics tap; called outside mu
+}
+
+func newPeerSet(urls []string, failThreshold int) *peerSet {
+	ps := &peerSet{
+		urls:          urls,
+		failThreshold: failThreshold,
+		up:            make([]bool, len(urls)),
+		fails:         make([]int, len(urls)),
+	}
+	// Start optimistic: every peer is assumed up until a probe or a
+	// forward says otherwise, so a router boots serving immediately.
+	for i := range ps.up {
+		ps.up[i] = true
+	}
+	return ps
+}
+
+// reportSuccess marks peer i healthy.
+func (ps *peerSet) reportSuccess(i int) {
+	ps.mu.Lock()
+	ps.fails[i] = 0
+	wasDown := !ps.up[i]
+	ps.up[i] = true
+	ps.mu.Unlock()
+	if wasDown && ps.onTransition != nil {
+		ps.onTransition(i, true)
+	}
+}
+
+// reportFailure counts one failed probe or forward against peer i,
+// taking it down at the threshold.
+func (ps *peerSet) reportFailure(i int) {
+	ps.mu.Lock()
+	ps.fails[i]++
+	goesDown := ps.up[i] && ps.fails[i] >= ps.failThreshold
+	if goesDown {
+		ps.up[i] = false
+	}
+	ps.mu.Unlock()
+	if goesDown && ps.onTransition != nil {
+		ps.onTransition(i, false)
+	}
+}
+
+// isUp reports peer i's current state.
+func (ps *peerSet) isUp(i int) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.up[i]
+}
+
+// status snapshots every peer's state.
+func (ps *peerSet) status() []PeerStatus {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]PeerStatus, len(ps.urls))
+	for i, u := range ps.urls {
+		out[i] = PeerStatus{URL: u, Up: ps.up[i], Fails: ps.fails[i]}
+	}
+	return out
+}
+
+// downCount returns how many peers are currently down.
+func (ps *peerSet) downCount() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	n := 0
+	for _, u := range ps.up {
+		if !u {
+			n++
+		}
+	}
+	return n
+}
+
+// healthLoop probes every peer's /healthz each interval until stop is
+// closed. It runs on the router's goroutine budget: one goroutine total,
+// probing peers sequentially — fleets are small (units to tens of
+// nodes) and a hung peer is bounded by the probe timeout.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.probeAll()
+		}
+	}
+}
+
+// probeAll health-checks every peer once.
+func (r *Router) probeAll() {
+	for i, u := range r.peerURLs {
+		r.Metrics.HealthChecks[i].Inc()
+		if r.probe(u) {
+			r.peers.reportSuccess(i)
+		} else {
+			r.Metrics.HealthFailures[i].Inc()
+			r.peers.reportFailure(i)
+		}
+	}
+}
+
+// probe performs one GET /healthz against a peer base URL. Any non-200
+// answer is a failure: a draining backend answers 503 and must stop
+// receiving forwards before its workers exit.
+func (r *Router) probe(base string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

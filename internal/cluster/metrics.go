@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/service"
+)
+
+// Metrics is the router's metric registry, exposed on the router's
+// /metrics in the same Prometheus text format as the backend registry
+// (service.Metrics); the hexd_cluster_* prefix keeps one fleet-wide
+// scrape config working for both roles. All fields are safe for
+// concurrent use.
+type Metrics struct {
+	// Requests counts router HTTP requests per endpoint.
+	Requests map[string]*service.Counter
+	// LocalHits counts requests answered from the router's own LRU;
+	// Coalesced counts requests that joined an in-flight forward. Both
+	// never left the router — the fleet-wide dedup at work.
+	LocalHits, Coalesced *service.Counter
+	// Forwards and ForwardErrors count router→backend hops per peer
+	// (errors are transport failures and 5xx re-home triggers, not
+	// pass-through client errors).
+	Forwards, ForwardErrors []*service.Counter
+	// Rehomes counts forwards served by a peer other than the key's
+	// first-ranked owner — the observable face of rendezvous fallback.
+	Rehomes *service.Counter
+	// Busy counts requests shed with 429 because the forward semaphore
+	// was full.
+	Busy *service.Counter
+	// HealthChecks and HealthFailures count liveness probes per peer;
+	// Transitions counts up↔down state changes per peer.
+	HealthChecks, HealthFailures, Transitions []*service.Counter
+	// PeerUp is each peer's current state (1 up, 0 down).
+	PeerUp []*service.Gauge
+
+	peers     []string
+	endpoints []string
+}
+
+// NewMetrics returns an empty registry for the given peers and endpoint
+// labels.
+func NewMetrics(peers []string, endpoints ...string) *Metrics {
+	m := &Metrics{
+		Requests:  make(map[string]*service.Counter, len(endpoints)),
+		LocalHits: &service.Counter{},
+		Coalesced: &service.Counter{},
+		Rehomes:   &service.Counter{},
+		Busy:      &service.Counter{},
+		peers:     append([]string(nil), peers...),
+		endpoints: append([]string(nil), endpoints...),
+	}
+	for _, ep := range m.endpoints {
+		m.Requests[ep] = &service.Counter{}
+	}
+	for range peers {
+		m.Forwards = append(m.Forwards, &service.Counter{})
+		m.ForwardErrors = append(m.ForwardErrors, &service.Counter{})
+		m.HealthChecks = append(m.HealthChecks, &service.Counter{})
+		m.HealthFailures = append(m.HealthFailures, &service.Counter{})
+		m.Transitions = append(m.Transitions, &service.Counter{})
+		m.PeerUp = append(m.PeerUp, &service.Gauge{})
+		m.PeerUp[len(m.PeerUp)-1].Set(1)
+	}
+	return m
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format, mirroring service.Metrics.WriteText: stable family and label
+// order across scrapes, # HELP/# TYPE headers, counters suffixed _total.
+func (m *Metrics) WriteText(w io.Writer) {
+	header := func(name, typ, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	perPeer := func(name, typ, help string, v func(i int) int64) {
+		header(name, typ, help)
+		for i, p := range m.peers {
+			fmt.Fprintf(w, "%s{peer=%q} %d\n", name, p, v(i))
+		}
+	}
+	header("hexd_cluster_requests_total", "counter", "Router HTTP requests, by endpoint.")
+	for _, ep := range m.endpoints {
+		fmt.Fprintf(w, "hexd_cluster_requests_total{endpoint=%q} %d\n", ep, m.Requests[ep].Value())
+	}
+	header("hexd_cluster_local_hits_total", "counter", "Requests answered from the router's own cache.")
+	fmt.Fprintf(w, "hexd_cluster_local_hits_total %d\n", m.LocalHits.Value())
+	header("hexd_cluster_coalesced_total", "counter", "Requests coalesced onto an in-flight forward.")
+	fmt.Fprintf(w, "hexd_cluster_coalesced_total %d\n", m.Coalesced.Value())
+	header("hexd_cluster_rehomes_total", "counter", "Forwards served by a fallback peer instead of the key's owner.")
+	fmt.Fprintf(w, "hexd_cluster_rehomes_total %d\n", m.Rehomes.Value())
+	header("hexd_cluster_busy_total", "counter", "Requests shed because the forward concurrency limit was reached.")
+	fmt.Fprintf(w, "hexd_cluster_busy_total %d\n", m.Busy.Value())
+	perPeer("hexd_cluster_forwards_total", "counter", "Router-to-backend forwards, by peer.",
+		func(i int) int64 { return int64(m.Forwards[i].Value()) })
+	perPeer("hexd_cluster_forward_errors_total", "counter", "Failed forwards (transport errors, 5xx re-homes), by peer.",
+		func(i int) int64 { return int64(m.ForwardErrors[i].Value()) })
+	perPeer("hexd_cluster_health_checks_total", "counter", "Health probes sent, by peer.",
+		func(i int) int64 { return int64(m.HealthChecks[i].Value()) })
+	perPeer("hexd_cluster_health_failures_total", "counter", "Health probes failed, by peer.",
+		func(i int) int64 { return int64(m.HealthFailures[i].Value()) })
+	perPeer("hexd_cluster_peer_transitions_total", "counter", "Peer up/down state changes, by peer.",
+		func(i int) int64 { return int64(m.Transitions[i].Value()) })
+	perPeer("hexd_cluster_peer_up", "gauge", "Peer health (1 up, 0 down), by peer.",
+		func(i int) int64 { return m.PeerUp[i].Value() })
+}

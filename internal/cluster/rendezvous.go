@@ -1,0 +1,76 @@
+// Package cluster turns hexd into a sharded fleet: a router node that
+// rendezvous-hashes canonical request keys across N backend nodes, so
+// the result cache, in-flight dedup, and durable store shard
+// horizontally instead of duplicating work per node.
+//
+// The router reuses the service layer's canonicalization (the same
+// Normalize + CanonicalKey that key the backend LRU and the disk store)
+// and the shared internal/coalesce singleflight, so identical concurrent
+// requests arriving anywhere coalesce fleet-wide: the router collapses
+// them into one forward, and the owning backend collapses concurrent
+// forwards from multiple routers into one simulation.
+//
+// Placement is rendezvous (highest-random-weight) hashing: every
+// (key, peer) pair gets a deterministic weight and the key is owned by
+// the highest-weighted live peer. Unlike ring-based consistent hashing,
+// losing a node re-homes exactly that node's keys — each one to its
+// second-ranked peer — and every router computes the same answer with no
+// coordination. Health is tracked by periodic /healthz probes plus
+// passive marking on forward failures; a recovered node takes its keys
+// back on the next health tick, and because results are deterministic
+// functions of the canonical key, ownership flapping can waste work but
+// never serve wrong bytes.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// weight computes the rendezvous weight of peer for key: a deterministic
+// 64-bit hash of the (peer, key) pair. The hash is content-defined (no
+// process-local seed), which is what makes every router in the fleet
+// agree on placement with no coordination. Raw FNV-1a correlates across
+// near-identical peer URLs ("http://n1:8081" vs "http://n2:8081" skewed
+// ownership by ~2× in testing), so the combined hash is passed through a
+// murmur3 finalizer for avalanche.
+func weight(peer, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 fmix64 finalizer: a bijective scramble giving
+// full avalanche, so one-character peer differences decorrelate.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Rank returns the indices of peers ordered by descending rendezvous
+// weight for key: Rank(...)[0] is the key's owner, Rank(...)[1] the
+// first fallback, and so on. Ties (astronomically unlikely with 64-bit
+// weights) break toward the lower index so the order is total and
+// deterministic.
+func Rank(key string, peers []string) []int {
+	idx := make([]int, len(peers))
+	w := make([]uint64, len(peers))
+	for i, p := range peers {
+		idx[i] = i
+		w[i] = weight(p, key)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if w[ia] != w[ib] {
+			return w[ia] > w[ib]
+		}
+		return ia < ib
+	})
+	return idx
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPeers() []string {
+	return []string{"http://n1:8081", "http://n2:8081", "http://n3:8081"}
+}
+
+// TestRankDeterministicAndTotal: Rank is a pure function of (key, peers)
+// and always a permutation of the peer indices.
+func TestRankDeterministicAndTotal(t *testing.T) {
+	peers := testPeers()
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("run:key-%d", i)
+		a, b := Rank(key, peers), Rank(key, peers)
+		if len(a) != len(peers) {
+			t.Fatalf("len = %d", len(a))
+		}
+		seen := make(map[int]bool)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("key %s: non-deterministic rank %v vs %v", key, a, b)
+			}
+			seen[a[j]] = true
+		}
+		if len(seen) != len(peers) {
+			t.Fatalf("key %s: rank %v is not a permutation", key, a)
+		}
+	}
+}
+
+// TestRankSpreadsKeys: with many keys, every peer owns a non-trivial
+// share — the property that makes rendezvous hashing a load balancer,
+// not just a router.
+func TestRankSpreadsKeys(t *testing.T) {
+	peers := testPeers()
+	counts := make([]int, len(peers))
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[Rank(fmt.Sprintf("run:%032x", i), peers)[0]]++
+	}
+	for i, c := range counts {
+		// Expect n/3 ± a wide tolerance; a hash pathology would send a
+		// peer far outside [20%, 46%].
+		if c < n/5 || c > n*46/100 {
+			t.Fatalf("peer %d owns %d of %d keys — hash is not spreading", i, c, n)
+		}
+	}
+}
+
+// TestNodeLossRehomesOnlyItsKeys pins the minimal-disruption property
+// that distinguishes rendezvous from mod-N hashing: removing one peer
+// re-homes exactly the keys it owned — each to its second-ranked peer —
+// and never moves a key between surviving peers.
+func TestNodeLossRehomesOnlyItsKeys(t *testing.T) {
+	peers := testPeers()
+	const dead = 1
+	survivors := []string{peers[0], peers[2]} // peer 1 removed
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("spec:key-%d", i)
+		before := Rank(key, peers)
+		after := Rank(key, survivors) // indices into survivors
+		// Map survivor indices back to original indices.
+		backMap := []int{0, 2}
+		newOwner := backMap[after[0]]
+		if before[0] != dead {
+			if newOwner != before[0] {
+				t.Fatalf("key %s: owner moved %d → %d though peer %d's loss should not affect it",
+					key, before[0], newOwner, dead)
+			}
+			continue
+		}
+		// The dead peer's keys re-home to the pre-loss second rank.
+		if newOwner != before[1] {
+			t.Fatalf("key %s: re-homed to %d, want pre-loss fallback %d", key, newOwner, before[1])
+		}
+	}
+}
+
+// TestRankStableAcrossProcesses pins concrete rankings so a router
+// rebuilt on another machine (or another release) computes identical
+// placement: FNV-1a is content-defined, and these constants prove no
+// seed or map-order nondeterminism crept in.
+func TestRankStableAcrossProcesses(t *testing.T) {
+	peers := testPeers()
+	cases := map[string][]int{
+		"run:3c54eddf99c8bae2b58c2824bede1a73":  {0, 1, 2},
+		"run:e59156f785ac3302b1af258b29886ece":  {0, 1, 2},
+		"spec:d612bfea063dcaa50c53f51348958b0e": {1, 0, 2},
+	}
+	for key, want := range cases {
+		got := Rank(key, peers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Rank(%q) = %v, want %v", key, got, want)
+			}
+		}
+	}
+}

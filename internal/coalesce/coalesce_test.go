@@ -1,0 +1,212 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// direct returns hooks that run submissions synchronously on a goroutine
+// (an unbounded executor), counting hits/misses/joins into the counters.
+func direct(hits, misses, joins *atomic.Int64) Hooks {
+	return Hooks{
+		Submit: func(run func()) error { go run(); return nil },
+		OnHit:  func() { hits.Add(1) },
+		OnMiss: func() { misses.Add(1) },
+		OnJoin: func() { joins.Add(1) },
+	}
+}
+
+// TestCoalescingUnderConcurrency is the split-refactor pin: N concurrent
+// Do calls for one key must execute compute exactly once, every caller
+// must observe the same value, and each of the N-1 non-leaders must be
+// accounted as either a join or a cache hit. This is the guarantee the
+// service relied on before coalescing was extracted, now held by the
+// shared package both the backend and the cluster router use.
+func TestCoalescingUnderConcurrency(t *testing.T) {
+	var hits, misses, joins atomic.Int64
+	var computes atomic.Int64
+	c := New(16, direct(&hits, &misses, &joins))
+
+	release := make(chan struct{})
+	compute := func(ctx context.Context) (*Value, error) {
+		computes.Add(1)
+		<-release
+		return &Value{Body: []byte("v"), ContentType: "text/plain", Events: 7}, nil
+	}
+
+	const n = 32
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	results := make([]*Value, n)
+	errs := make([]error, n)
+	started.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			v, err := c.Do(context.Background(), time.Minute, "k", compute)
+			results[i], errs[i] = v, err
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(10 * time.Millisecond) // let callers reach the flight
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if string(results[i].Body) != "v" || results[i].Events != 7 {
+			t.Fatalf("caller %d got %+v", i, results[i])
+		}
+	}
+	if accounted := joins.Load() + hits.Load(); accounted != n-1 {
+		t.Fatalf("joins(%d) + hits(%d) = %d, want %d", joins.Load(), hits.Load(), accounted, n-1)
+	}
+}
+
+// TestDistinctKeysDoNotCoalesce proves the inverse: different keys run
+// their own computations.
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	var hits, misses, joins atomic.Int64
+	var computes atomic.Int64
+	c := New(16, direct(&hits, &misses, &joins))
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			v, err := c.Do(context.Background(), time.Minute, key, func(context.Context) (*Value, error) {
+				computes.Add(1)
+				return &Value{Body: []byte(key)}, nil
+			})
+			if err != nil || string(v.Body) != key {
+				t.Errorf("key %s: v=%v err=%v", key, v, err)
+			}
+		}(key)
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 3 {
+		t.Fatalf("computes = %d, want 3", got)
+	}
+}
+
+// TestSecondTierPromotion: a second-tier hit is served without compute
+// and promoted into the memory cache.
+func TestSecondTierPromotion(t *testing.T) {
+	var tierProbes atomic.Int64
+	c := New(16, Hooks{
+		Submit: func(run func()) error { t.Error("submit must not run"); return nil },
+		SecondTier: func(ctx context.Context, key string) (*Value, bool) {
+			tierProbes.Add(1)
+			return &Value{Body: []byte("disk")}, true
+		},
+	})
+	for i := 0; i < 2; i++ {
+		v, err := c.Do(context.Background(), time.Minute, "k", nil)
+		if err != nil || string(v.Body) != "disk" {
+			t.Fatalf("i=%d: v=%v err=%v", i, v, err)
+		}
+	}
+	if got := tierProbes.Load(); got != 1 {
+		t.Fatalf("second tier probed %d times, want 1 (promotion must serve the repeat)", got)
+	}
+}
+
+// TestSubmitRejectionPropagates: the executor refusing a flight aborts
+// it with the executor's error and registers nothing.
+func TestSubmitRejectionPropagates(t *testing.T) {
+	errFull := errors.New("full")
+	c := New(16, Hooks{Submit: func(func()) error { return errFull }})
+	if _, err := c.Do(context.Background(), time.Minute, "k", nil); !errors.Is(err, errFull) {
+		t.Fatalf("err = %v, want %v", err, errFull)
+	}
+	c.hooks.Submit = func(run func()) error { go run(); return nil }
+	v, err := c.Do(context.Background(), time.Minute, "k", func(context.Context) (*Value, error) {
+		return &Value{Body: []byte("ok")}, nil
+	})
+	if err != nil || string(v.Body) != "ok" {
+		t.Fatalf("after rejection the key must be computable: v=%v err=%v", v, err)
+	}
+}
+
+// TestCloseRefusesNewFlights: Close marks the coalescer down for new
+// computations but cached values still serve.
+func TestCloseRefusesNewFlights(t *testing.T) {
+	c := New(16, Hooks{Submit: func(run func()) error { go run(); return nil }})
+	if _, err := c.Do(context.Background(), time.Minute, "k", func(context.Context) (*Value, error) {
+		return &Value{Body: []byte("v")}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if !c.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if v, err := c.Do(context.Background(), time.Minute, "k", nil); err != nil || string(v.Body) != "v" {
+		t.Fatalf("cached value after Close: v=%v err=%v", v, err)
+	}
+	if _, err := c.Do(context.Background(), time.Minute, "new", nil); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("new key after Close: err = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestLastWaiterCancelsFlight: when every waiter abandons a flight, its
+// detached context is cancelled so the executor can stop working.
+func TestLastWaiterCancelsFlight(t *testing.T) {
+	cancelled := make(chan struct{})
+	c := New(16, Hooks{Submit: func(run func()) error { go run(); return nil }})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := c.Do(ctx, time.Minute, "k", func(fctx context.Context) (*Value, error) {
+			<-fctx.Done()
+			close(cancelled)
+			return nil, fctx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("waiter err = %v, want Canceled", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	<-done
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context was not cancelled after the last waiter left")
+	}
+}
+
+// TestPersistRunsAfterRelease: the write-behind hook observes the final
+// value after waiters are released.
+func TestPersistRunsAfterRelease(t *testing.T) {
+	persisted := make(chan string, 1)
+	c := New(16, Hooks{
+		Submit:  func(run func()) error { go run(); return nil },
+		Persist: func(key string, v *Value) { persisted <- key + ":" + string(v.Body) },
+	})
+	if _, err := c.Do(context.Background(), time.Minute, "k", func(context.Context) (*Value, error) {
+		return &Value{Body: []byte("v")}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-persisted:
+		if got != "k:v" {
+			t.Fatalf("persisted %q, want %q", got, "k:v")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Persist never ran")
+	}
+}

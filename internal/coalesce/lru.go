@@ -1,24 +1,13 @@
-package service
+package coalesce
 
 import (
 	"container/list"
 	"sync"
 )
 
-// cached is a finished, serialized response body ready to replay to any
-// request with the same canonical key.
-type cached struct {
-	body        []byte
-	contentType string
-	// events is the simulation event count behind this entry, replayed
-	// into responses so cached answers stay indistinguishable from fresh
-	// ones.
-	events uint64
-}
-
-// lruCache is a mutex-guarded LRU over canonical request keys. Simulation
-// results are deterministic functions of their canonical request, so
-// entries never expire — they are only evicted by capacity.
+// lruCache is a mutex-guarded LRU over canonical request keys. Values
+// are deterministic functions of their canonical request, so entries
+// never expire — they are only evicted by capacity.
 type lruCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -28,7 +17,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key string
-	val *cached
+	val *Value
 }
 
 // newLRUCache returns a cache bounded to cap entries; cap <= 0 disables
@@ -38,7 +27,7 @@ func newLRUCache(cap int) *lruCache {
 }
 
 // Get returns the entry for key, marking it most recently used.
-func (c *lruCache) Get(key string) (*cached, bool) {
+func (c *lruCache) Get(key string) (*Value, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -51,7 +40,7 @@ func (c *lruCache) Get(key string) (*cached, bool) {
 
 // Put inserts or refreshes an entry, evicting the least recently used
 // entry when over capacity.
-func (c *lruCache) Put(key string, val *cached) {
+func (c *lruCache) Put(key string, val *Value) {
 	if c.cap <= 0 {
 		return
 	}

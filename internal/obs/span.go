@@ -65,6 +65,7 @@ func printable(s string) bool {
 type Trace struct {
 	mu           sync.Mutex
 	id           string
+	traceID      string
 	endpoint     string
 	start        time.Time
 	spans        []Span
@@ -96,6 +97,27 @@ func (t *Trace) ID() string {
 		return ""
 	}
 	return t.id
+}
+
+// SetTraceID attaches a W3C trace-id (32 hex chars) correlating this
+// request across fleet nodes; it appears as trace_id in snapshots.
+func (t *Trace) SetTraceID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.traceID = id
+}
+
+// TraceID returns the attached W3C trace-id ("" when none).
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
 }
 
 // StartSpan begins a named stage and returns the function that ends it.
@@ -168,6 +190,7 @@ func (t *Trace) Finish(status int, err error) {
 // TraceSnapshot is an immutable copy of a trace, shaped for JSON.
 type TraceSnapshot struct {
 	ID           string         `json:"id"`
+	TraceID      string         `json:"trace_id,omitempty"`
 	Endpoint     string         `json:"endpoint"`
 	Start        time.Time      `json:"start"`
 	DurationMs   float64        `json:"duration_ms"`
@@ -197,6 +220,7 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	defer t.mu.Unlock()
 	snap := TraceSnapshot{
 		ID:           t.id,
+		TraceID:      t.traceID,
 		Endpoint:     t.endpoint,
 		Start:        t.start,
 		DurationMs:   float64(t.duration) / float64(time.Millisecond),

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) support, the
+// minimum needed for fleet-wide request correlation: the cluster router
+// mints (or propagates) a trace-id and sends a traceparent header on
+// every router→backend hop; each backend stamps the trace-id onto its
+// own request trace, so GET /v1/debug/requests on every node of the
+// fleet shows the same trace_id for one logical request.
+
+// TraceparentHeader is the canonical header name (lower-case per spec;
+// net/http canonicalizes on the wire).
+const TraceparentHeader = "traceparent"
+
+// traceparent layout: version "00", 32-hex trace-id, 16-hex parent-id,
+// 2-hex flags, dash-separated.
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// ParseTraceparent extracts the trace-id from a version-00 traceparent
+// header value. ok is false for malformed values, for unknown versions,
+// and for the all-zero trace-id the spec forbids.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	if len(h) != traceparentLen || h[0:3] != "00-" || h[35] != '-' || h[52] != '-' {
+		return "", false
+	}
+	tid, pid, flags := h[3:35], h[36:52], h[53:55]
+	if !lowerHex(tid) || !lowerHex(pid) || !lowerHex(flags) {
+		return "", false
+	}
+	if tid == "00000000000000000000000000000000" || pid == "0000000000000000" {
+		return "", false
+	}
+	return tid, true
+}
+
+// FormatTraceparent renders a version-00 traceparent value with the
+// sampled flag set, minting a fresh parent (span) id for this hop.
+func FormatTraceparent(traceID string) string {
+	return "00-" + traceID + "-" + randHex(8) + "-01"
+}
+
+// NewTraceID returns a fresh random 32-hex-character trace-id.
+func NewTraceID() string { return randHex(16) }
+
+// randHex returns 2n random lower-case hex characters. Like
+// NewRequestID, it degrades to zeros if the system entropy source fails;
+// correlation degrades, nothing breaks.
+func randHex(n int) string {
+	b := make([]byte, n)
+	rand.Read(b)
+	return hex.EncodeToString(b)
+}
+
+// lowerHex reports whether s is entirely lower-case hexadecimal.
+func lowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/coalesce"
 )
 
 // TestFlightSurvivesLeaderDisconnect pins the detached-flight contract: the
@@ -18,13 +20,13 @@ func TestFlightSurvivesLeaderDisconnect(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
 	var computeErr error
-	compute := func(ctx context.Context) (*cached, error) {
+	compute := func(ctx context.Context) (*coalesce.Value, error) {
 		close(started)
 		<-release
 		if computeErr = ctx.Err(); computeErr != nil {
 			return nil, computeErr
 		}
-		return &cached{body: []byte("result"), contentType: "text/plain"}, nil
+		return &coalesce.Value{Body: []byte("result"), ContentType: "text/plain"}, nil
 	}
 
 	leaderCtx, disconnectLeader := context.WithCancel(context.Background())
@@ -36,12 +38,12 @@ func TestFlightSurvivesLeaderDisconnect(t *testing.T) {
 	<-started // the flight is registered and computing
 
 	followerDone := make(chan struct{})
-	var followerVal *cached
+	var followerVal *coalesce.Value
 	var followerErr error
 	go func() {
 		defer close(followerDone)
 		followerVal, followerErr = s.result(context.Background(), time.Minute, "flight-test",
-			func(context.Context) (*cached, error) {
+			func(context.Context) (*coalesce.Value, error) {
 				t.Error("follower compute ran; it should have joined the in-flight computation")
 				return nil, nil
 			})
@@ -59,7 +61,7 @@ func TestFlightSurvivesLeaderDisconnect(t *testing.T) {
 	if followerErr != nil {
 		t.Fatalf("follower err = %v, want result", followerErr)
 	}
-	if followerVal == nil || string(followerVal.body) != "result" {
+	if followerVal == nil || string(followerVal.Body) != "result" {
 		t.Fatalf("follower got %+v", followerVal)
 	}
 	if computeErr != nil {
@@ -77,14 +79,14 @@ func TestFlightCancelledWhenLastWaiterLeaves(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
 	errc := make(chan error, 1)
-	compute := func(ctx context.Context) (*cached, error) {
+	compute := func(ctx context.Context) (*coalesce.Value, error) {
 		close(started)
 		<-release
 		errc <- ctx.Err()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return &cached{body: []byte("unwanted"), contentType: "text/plain"}, nil
+		return &coalesce.Value{Body: []byte("unwanted"), ContentType: "text/plain"}, nil
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())

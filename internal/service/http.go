@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/coalesce"
 	"repro/internal/obs"
 )
 
@@ -66,12 +67,19 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 // finished with the response status, published to the debug ring, and
 // reflected as one structured log line.
 func (s *Service) serve(w http.ResponseWriter, r *http.Request, endpoint, rid string,
-	timeoutMs int64, key string, compute func(context.Context) (*cached, error)) {
+	timeoutMs int64, key string, compute func(context.Context) (*coalesce.Value, error)) {
 	start := time.Now()
 	defer func() { s.Metrics.Latency[endpoint].ObserveDuration(time.Since(start)) }()
 
 	tr := obs.NewTrace(rid, endpoint)
-	timeout := requestTimeout(timeoutMs, s.opts)
+	// A W3C traceparent (forwarded by the cluster router, or sent by any
+	// tracing-aware client) correlates this node's trace with the
+	// fleet-wide one: every node serving a hop of the same request shows
+	// the same trace_id in /v1/debug/requests.
+	if tid, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		tr.SetTraceID(tid)
+	}
+	timeout := RequestTimeout(timeoutMs, s.opts)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	val, err := s.result(obs.WithTrace(ctx, tr), timeout, key, compute)
@@ -79,9 +87,9 @@ func (s *Service) serve(w http.ResponseWriter, r *http.Request, endpoint, rid st
 	if err != nil {
 		status = s.writeError(w, rid, err)
 	} else {
-		w.Header().Set("Content-Type", val.contentType)
-		w.Header().Set("X-Hexd-Events", fmt.Sprintf("%d", val.events))
-		w.Write(val.body)
+		w.Header().Set("Content-Type", val.ContentType)
+		w.Header().Set("X-Hexd-Events", fmt.Sprintf("%d", val.Events))
+		w.Write(val.Body)
 	}
 	tr.Finish(status, err)
 	s.ring.Add(tr)
@@ -157,13 +165,13 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err.Error(), rid)
 		return
 	}
-	if err := req.normalize(s.opts); err != nil {
+	if err := req.Normalize(s.opts); err != nil {
 		writeJSONError(w, http.StatusBadRequest, err.Error(), rid)
 		return
 	}
 	req.flightArm = s.opts.FlightEvents > 0 && r.URL.Query().Get("trace") == "1"
-	s.serve(w, r, "run", rid, req.TimeoutMs, req.key(),
-		func(ctx context.Context) (*cached, error) { return s.computeRun(ctx, req) })
+	s.serve(w, r, "run", rid, req.TimeoutMs, req.CanonicalKey(),
+		func(ctx context.Context) (*coalesce.Value, error) { return s.computeRun(ctx, req) })
 }
 
 func (s *Service) handleSpec(w http.ResponseWriter, r *http.Request) {
@@ -178,12 +186,12 @@ func (s *Service) handleSpec(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err.Error(), rid)
 		return
 	}
-	if err := req.normalize(s.opts); err != nil {
+	if err := req.Normalize(s.opts); err != nil {
 		writeJSONError(w, http.StatusBadRequest, err.Error(), rid)
 		return
 	}
-	s.serve(w, r, "spec", rid, req.TimeoutMs, req.key(),
-		func(ctx context.Context) (*cached, error) { return s.computeSpec(ctx, req) })
+	s.serve(w, r, "spec", rid, req.TimeoutMs, req.CanonicalKey(),
+		func(ctx context.Context) (*coalesce.Value, error) { return s.computeSpec(ctx, req) })
 }
 
 // handleDebugRequests serves the ring of recently completed request traces,

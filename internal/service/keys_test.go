@@ -1,0 +1,90 @@
+package service
+
+import "testing"
+
+// TestCanonicalKeysPinned pins the canonical key derivation byte-for-byte
+// against values recorded before the canonicalize/coalesce/execute split
+// (PR 6). These keys are load-bearing far beyond the in-memory cache:
+// they name durable store records on disk and they are the rendezvous
+// partitioning key of the cluster router, so a drift would silently
+// orphan every stored result and re-home every key in a mixed-version
+// fleet. If this test fails, the change is wrong — do not re-record the
+// constants.
+func TestCanonicalKeysPinned(t *testing.T) {
+	opts := Options{}.Resolved()
+
+	runCases := []struct {
+		name string
+		req  RunRequest
+		want string
+	}{
+		{"defaults", RunRequest{}, "run:3c54eddf99c8bae2b58c2824bede1a73"},
+		{"udplus", RunRequest{L: 120, W: 30, Scenario: "udplus", Seed: 11},
+			"run:e59156f785ac3302b1af258b29886ece"},
+		{"faults", RunRequest{L: 50, W: 20, Scenario: "iii", Faults: 2, Seed: 7},
+			"run:444df042920e6bda5159db14d6fbe859"},
+		{"failsilent-plus-csv", RunRequest{L: 10, W: 4, Scenario: "ramp", Faults: 1,
+			FaultType: "fail-silent", Seed: 42, HexPlus: true, Output: "csv"},
+			"run:add194ec7d9920fe965607d616fc53dd"},
+		{"svg", RunRequest{L: 33, W: 9, Scenario: "ii", Seed: 5, Output: "svg"},
+			"run:b2b83e2b7c7de959df9bd1aab5b70f0c"},
+	}
+	for _, tc := range runCases {
+		req := tc.req
+		if err := req.Normalize(opts); err != nil {
+			t.Fatalf("%s: Normalize: %v", tc.name, err)
+		}
+		if got := req.CanonicalKey(); got != tc.want {
+			t.Errorf("%s: key = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+
+	specCases := []struct {
+		name string
+		req  SpecRequest
+		want string
+	}{
+		{"defaults", SpecRequest{}, "spec:d612bfea063dcaa50c53f51348958b0e"},
+		{"ramp", SpecRequest{L: 50, W: 20, Scenario: "ramp", Runs: 250},
+			"spec:2df91777248b7547555921a8490c94c6"},
+		{"kitchen-sink", SpecRequest{L: 20, W: 8, Scenario: "udminus", Faults: 3,
+			FaultType: "byzantine", Runs: 16, Seed: 9, HexPlus: true, ExcludeHops: 2},
+			"spec:640cbe0a4f36a689c47807e92bd72b45"},
+	}
+	for _, tc := range specCases {
+		req := tc.req
+		if err := req.Normalize(opts); err != nil {
+			t.Fatalf("%s: Normalize: %v", tc.name, err)
+		}
+		if got := req.CanonicalKey(); got != tc.want {
+			t.Errorf("%s: key = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCanonicalKeyAliasesCollapse pins that scenario aliases and the
+// implicit fault-type default produce the same canonical key as their
+// explicit spellings — the property the fleet relies on to dedup
+// differently-spelled identical requests onto one shard.
+func TestCanonicalKeyAliasesCollapse(t *testing.T) {
+	opts := Options{}.Resolved()
+	key := func(r RunRequest) string {
+		t.Helper()
+		if err := r.Normalize(opts); err != nil {
+			t.Fatal(err)
+		}
+		return r.CanonicalKey()
+	}
+	if a, b := key(RunRequest{Scenario: "iii"}), key(RunRequest{Scenario: "udplus"}); a != b {
+		t.Errorf("alias iii vs udplus: %s != %s", a, b)
+	}
+	if a, b := key(RunRequest{Faults: 2}), key(RunRequest{Faults: 2, FaultType: "byzantine"}); a != b {
+		t.Errorf("implicit vs explicit byzantine: %s != %s", a, b)
+	}
+	if a, b := key(RunRequest{}), key(RunRequest{FaultType: "correct"}); a != b {
+		t.Errorf("implicit vs explicit correct: %s != %s", a, b)
+	}
+	if a, b := key(RunRequest{}), key(RunRequest{TimeoutMs: 5000}); a != b {
+		t.Errorf("deadline must not affect the key: %s != %s", a, b)
+	}
+}

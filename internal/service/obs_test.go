@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/coalesce"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/grid"
@@ -337,12 +338,12 @@ func TestShedLoadLogCarriesRequestID(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.result(context.Background(), time.Minute, key, func(context.Context) (*cached, error) {
+			s.result(context.Background(), time.Minute, key, func(context.Context) (*coalesce.Value, error) {
 				if i == 0 {
 					close(started)
 				}
 				<-release
-				return &cached{body: []byte("x"), contentType: "text/plain"}, nil
+				return &coalesce.Value{Body: []byte("x"), ContentType: "text/plain"}, nil
 			})
 		}()
 		if i == 0 {

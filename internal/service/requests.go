@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/coalesce"
 	"repro/internal/core"
 	"repro/internal/delay"
 	"repro/internal/experiment"
@@ -68,9 +69,11 @@ type RunRequest struct {
 	flightArm bool `json:"-"`
 }
 
-// normalize fills defaults and parses enum fields; it must be called
-// before key or compute.
-func (r *RunRequest) normalize(opts Options) error {
+// Normalize fills defaults and parses enum fields; it must be called
+// before CanonicalKey or compute. It is exported for the cluster router,
+// which canonicalizes requests the same way before hashing them to a
+// shard.
+func (r *RunRequest) Normalize(opts Options) error {
 	if r.L == 0 {
 		r.L = 50
 	}
@@ -100,16 +103,20 @@ func (r *RunRequest) normalize(opts Options) error {
 	return validateGridDims(r.L, r.W, r.Faults, opts)
 }
 
-// key returns the canonical cache key. Requests that differ only in
-// deadline share a key; requests that differ in output format do not
-// (they cache different serialized bodies).
-func (r *RunRequest) key() string {
+// CanonicalKey returns the canonical cache key. Requests that differ
+// only in deadline share a key; requests that differ in output format do
+// not (they cache different serialized bodies). The derivation is pinned
+// byte-for-byte by TestCanonicalKeysPinned: the same key partitions the
+// fleet, names durable store records, and keys both cache tiers, so it
+// must never drift between releases running side by side.
+func (r *RunRequest) CanonicalKey() string {
 	return cacheKey("run", fmt.Sprintf("L=%d|W=%d|sc=%d|f=%d|ft=%d|seed=%d|plus=%t|out=%s",
 		r.L, r.W, int(r.scenario), r.Faults, int(r.behavior), r.Seed, r.HexPlus, r.Output))
 }
 
-// timeout resolves the effective deadline for a request.
-func requestTimeout(ms int64, opts Options) time.Duration {
+// RequestTimeout resolves the effective deadline for a request: ms when
+// positive, opts.DefaultTimeout otherwise, clamped to opts.MaxTimeout.
+func RequestTimeout(ms int64, opts Options) time.Duration {
 	d := time.Duration(ms) * time.Millisecond
 	if d <= 0 {
 		d = opts.DefaultTimeout
@@ -155,7 +162,7 @@ func summaryJSON(s stats.Summary) SummaryJSON {
 // report their partial event counts to the metrics registry before the
 // error propagates, and — when the flight recorder is armed — still attach
 // their audited event-stream tail to the request trace.
-func (s *Service) computeRun(ctx context.Context, r RunRequest) (*cached, error) {
+func (s *Service) computeRun(ctx context.Context, r RunRequest) (*coalesce.Value, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -233,11 +240,11 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*cached, error)
 	wave := analysis.WaveFromResult(h.Graph, res, plan, 0)
 	switch r.Output {
 	case "csv":
-		return &cached{body: []byte(render.WaveCSV(wave, h)),
-			contentType: "text/csv; charset=utf-8", events: res.Events}, nil
+		return &coalesce.Value{Body: []byte(render.WaveCSV(wave, h)),
+			ContentType: "text/csv; charset=utf-8", Events: res.Events}, nil
 	case "svg":
-		return &cached{body: []byte(render.WaveSVG(wave, h, 10)),
-			contentType: "image/svg+xml", events: res.Events}, nil
+		return &coalesce.Value{Body: []byte(render.WaveSVG(wave, h, 10)),
+			ContentType: "image/svg+xml", Events: res.Events}, nil
 	}
 	resp := RunResponse{
 		L: r.L, W: r.W, Scenario: r.Scenario, Faults: r.Faults,
@@ -277,8 +284,8 @@ type SpecRequest struct {
 	behavior fault.Behavior  `json:"-"`
 }
 
-// normalize fills defaults, parses enums, and enforces limits.
-func (r *SpecRequest) normalize(opts Options) error {
+// Normalize fills defaults, parses enums, and enforces limits.
+func (r *SpecRequest) Normalize(opts Options) error {
 	if r.L == 0 {
 		r.L = 50
 	}
@@ -311,8 +318,8 @@ func (r *SpecRequest) normalize(opts Options) error {
 	return validateGridDims(r.L, r.W, r.Faults, opts)
 }
 
-// key returns the canonical cache key of the spec request.
-func (r *SpecRequest) key() string {
+// CanonicalKey returns the canonical cache key of the spec request.
+func (r *SpecRequest) CanonicalKey() string {
 	return cacheKey("spec", fmt.Sprintf("L=%d|W=%d|sc=%d|f=%d|ft=%d|runs=%d|seed=%d|plus=%t|hops=%d",
 		r.L, r.W, int(r.scenario), r.Faults, int(r.behavior), r.Runs, r.Seed, r.HexPlus, r.ExcludeHops))
 }
@@ -334,7 +341,7 @@ type SpecResponse struct {
 }
 
 // computeSpec executes all runs of the spec on the caller's context.
-func (s *Service) computeSpec(ctx context.Context, r SpecRequest) (*cached, error) {
+func (s *Service) computeSpec(ctx context.Context, r SpecRequest) (*coalesce.Value, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -411,6 +418,13 @@ func parseBehavior(name string, faults int) (fault.Behavior, error) {
 			return fault.Byzantine, nil
 		}
 		return fault.Correct, nil
+	case "correct":
+		// Accepted so a normalized request (whose FaultType is the
+		// canonical behavior string) round-trips through re-submission.
+		if faults > 0 {
+			return 0, fmt.Errorf("fault type %q is incompatible with faults=%d", name, faults)
+		}
+		return fault.Correct, nil
 	case "byzantine":
 		return fault.Byzantine, nil
 	case "fail-silent", "failsilent", "crash":
@@ -426,13 +440,13 @@ func cacheKey(kind, fields string) string {
 }
 
 // marshalCached serializes a JSON response body into a cache entry.
-func marshalCached(v any, events uint64) (*cached, error) {
+func marshalCached(v any, events uint64) (*coalesce.Value, error) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(v); err != nil {
 		return nil, err
 	}
-	return &cached{body: buf.Bytes(), contentType: "application/json", events: events}, nil
+	return &coalesce.Value{Body: buf.Bytes(), ContentType: "application/json", Events: events}, nil
 }
 
 // orDefault returns s, or def when s is empty.

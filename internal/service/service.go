@@ -4,6 +4,14 @@
 // simulations mid-run, and a metrics registry. cmd/hexd wraps it in an
 // HTTP daemon.
 //
+// The package is split along the canonicalize/execute seam: request
+// canonicalization (normalization, canonical key derivation) lives here
+// in requests.go, coalescing (result cache + in-flight singleflight) is
+// the shared internal/coalesce package, and this file owns local
+// execution — the bounded worker pool that actually runs simulations.
+// internal/cluster composes the same canonicalization and coalescing
+// with a forwarding executor to run hexd as a sharded fleet.
+//
 // Concurrency model: requests are canonicalized into a stable key; a
 // cache hit replays the stored body, a miss either joins an identical
 // in-flight computation or enqueues one job on a channel bounded by
@@ -20,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coalesce"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -111,18 +120,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// flight is one in-progress computation that any number of identical
-// requests may wait on. Its computation runs on a context detached from
-// the leader request (with the leader's timeout), so a coalesced flight
-// survives the leader disconnecting; it is cancelled only when the last
-// waiter leaves (waiters, guarded by Service.mu, tracks membership).
-type flight struct {
-	done    chan struct{} // closed when val/err are final
-	val     *cached
-	err     error
-	cancel  context.CancelFunc // cancels the flight's detached context
-	waiters int                // guarded by Service.mu
-}
+// Resolved returns o with unset fields filled with their defaults. The
+// cluster router uses it to share the service's admission limits
+// (MaxNodes, MaxRuns, deadline clamps) without re-stating the defaults.
+func (o Options) Resolved() Options { return o.withDefaults() }
 
 // Service executes canonicalized simulation requests through a bounded
 // worker pool with caching and deduplication. Construct with New; all
@@ -130,30 +131,33 @@ type flight struct {
 type Service struct {
 	opts    Options
 	Metrics *Metrics
-	cache   *lruCache
+	coal    *coalesce.Coalescer
 	store   *store.Store // nil when the durable tier is disabled
 	ring    *obs.Ring    // completed request traces (/v1/debug/requests)
 
-	mu       sync.Mutex
-	inflight map[string]*flight
-	closed   bool
-
-	jobs chan func()
-	wg   sync.WaitGroup
+	jobs      chan func()
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // New starts a Service with opts.Workers worker goroutines.
 func New(opts Options) *Service {
 	opts = opts.withDefaults()
 	s := &Service{
-		opts:     opts,
-		Metrics:  NewMetrics("run", "spec"),
-		cache:    newLRUCache(opts.CacheEntries),
-		store:    opts.Store,
-		ring:     obs.NewRing(opts.TraceRing),
-		inflight: make(map[string]*flight),
-		jobs:     make(chan func(), opts.QueueDepth),
+		opts:    opts,
+		Metrics: NewMetrics("run", "spec"),
+		store:   opts.Store,
+		ring:    obs.NewRing(opts.TraceRing),
+		jobs:    make(chan func(), opts.QueueDepth),
 	}
+	s.coal = coalesce.New(opts.CacheEntries, coalesce.Hooks{
+		Submit:     s.submit,
+		SecondTier: s.storeGet,
+		Persist:    s.storePut,
+		OnHit:      s.Metrics.CacheHits.Inc,
+		OnMiss:     s.Metrics.CacheMisses.Inc,
+		OnJoin:     s.Metrics.DedupJoins.Inc,
+	})
 	if s.store != nil {
 		s.Metrics.StoreBytes.Set(s.store.Bytes())
 	}
@@ -172,146 +176,52 @@ func New(opts Options) *Service {
 	return s
 }
 
+// submit is the coalescer's executor hook: a non-blocking enqueue on the
+// bounded worker-pool channel. It is called with the coalescer's lock
+// held, which makes the closed-check/enqueue pair atomic with respect to
+// Close — a job can never be sent on a closed channel.
+func (s *Service) submit(run func()) error {
+	// Sample the queue occupancy seen by this submission (including the
+	// full-queue case below) so load headroom is visible between scrapes.
+	s.Metrics.QueueDepthSamples.Observe(float64(len(s.jobs)))
+	select {
+	case s.jobs <- run:
+		s.Metrics.QueueDepth.Set(int64(len(s.jobs)))
+		return nil
+	default:
+		s.Metrics.QueueRejects.Inc()
+		return ErrQueueFull
+	}
+}
+
 // Options returns the resolved configuration.
 func (s *Service) Options() Options { return s.opts }
 
 // Closed reports whether Close has begun.
-func (s *Service) Closed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
-}
+func (s *Service) Closed() bool { return s.coal.Closed() }
 
 // Close drains the service: no new jobs are accepted, already queued and
 // running jobs finish (their waiters get results), then the workers exit.
 // It is idempotent and safe to call concurrently with requests.
 func (s *Service) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.wg.Wait()
-		return
-	}
-	s.closed = true
-	s.mu.Unlock()
-	close(s.jobs)
+	s.closeOnce.Do(func() {
+		// Coalescer first: once it reports closed, no submit can race the
+		// channel close below (submit runs under the coalescer's lock).
+		s.coal.Close()
+		close(s.jobs)
+	})
 	s.wg.Wait()
 }
 
-// result returns the response for the canonical key: from the cache, by
-// joining an identical in-flight computation, or by enqueueing compute on
-// the worker pool. The computation runs on a context detached from the
-// caller's: it carries timeout as its deadline but is not cancelled by the
-// leader request going away — only by the last interested waiter leaving.
-// ctx governs only how long this caller waits.
-func (s *Service) result(ctx context.Context, timeout time.Duration, key string, compute func(context.Context) (*cached, error)) (*cached, error) {
-	tr := obs.FromContext(ctx)
-	endLookup := tr.StartSpan("cache-lookup")
-	if v, ok := s.cache.Get(key); ok {
-		endLookup()
-		tr.Note("cache-hit")
-		s.Metrics.CacheHits.Inc()
-		return v, nil
-	}
-	s.Metrics.CacheMisses.Inc()
-	if v, ok := s.storeGet(key); ok {
-		endLookup()
-		tr.Note("store-hit")
-		// Promote the disk hit so repeats stay in memory. Read-through
-		// does not write back: the record is already durable.
-		s.cache.Put(key, v)
-		return v, nil
-	}
-	endLookup()
-
-	s.mu.Lock()
-	if f, ok := s.inflight[key]; ok {
-		f.waiters++
-		s.mu.Unlock()
-		s.Metrics.DedupJoins.Inc()
-		tr.Note("join-inflight")
-		return s.wait(ctx, f)
-	}
-	// Re-check the cache with the in-flight map locked: a flight that
-	// finished between the fast-path lookup and here published its result
-	// to the cache *before* deregistering, so one of the two checks always
-	// sees it and no identical simulation ever runs twice.
-	if v, ok := s.cache.Get(key); ok {
-		s.mu.Unlock()
-		tr.Note("cache-hit")
-		s.Metrics.CacheHits.Inc()
-		return v, nil
-	}
-	if s.closed {
-		s.mu.Unlock()
+// result returns the response for the canonical key: from the cache, the
+// durable store, by joining an identical in-flight computation, or by
+// enqueueing compute on the worker pool. See coalesce.Coalescer.Do for
+// the lifetime rules; failures specific to local execution are
+// ErrQueueFull (bounded queue) and ErrShuttingDown (after Close).
+func (s *Service) result(ctx context.Context, timeout time.Duration, key string, compute func(context.Context) (*coalesce.Value, error)) (*coalesce.Value, error) {
+	v, err := s.coal.Do(ctx, timeout, key, compute)
+	if errors.Is(err, coalesce.ErrShuttingDown) {
 		return nil, ErrShuttingDown
 	}
-	fctx, cancel := context.WithTimeout(context.Background(), timeout)
-	// The leader's trace rides on the detached context so the computation
-	// keeps reporting spans (and a late flight dump) into it even after
-	// the leader's own HTTP context is gone.
-	fctx = obs.WithTrace(fctx, tr)
-	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
-	enqueued := time.Now()
-	job := func() {
-		tr.AddSpan("queue-wait", enqueued, time.Now())
-		f.val, f.err = compute(fctx)
-		cancel() // release the deadline timer; the flight is decided
-		if f.err == nil {
-			s.cache.Put(key, f.val)
-		}
-		s.mu.Lock()
-		delete(s.inflight, key)
-		s.mu.Unlock()
-		close(f.done)
-		if f.err == nil {
-			// Write-behind: waiters are already released via f.done; the
-			// worker persists the record before taking its next job, so
-			// Close (which drains workers) doubles as a store flush
-			// barrier and in-flight dedup guarantees one disk write per
-			// key even under a stampede.
-			s.storePut(key, f.val)
-		}
-	}
-	// Sample the queue occupancy seen by this submission (including the
-	// full-queue case below) so load headroom is visible between scrapes.
-	s.Metrics.QueueDepthSamples.Observe(float64(len(s.jobs)))
-	select {
-	case s.jobs <- job:
-		s.inflight[key] = f
-		s.mu.Unlock()
-		s.Metrics.QueueDepth.Set(int64(len(s.jobs)))
-	default:
-		s.mu.Unlock()
-		cancel()
-		s.Metrics.QueueRejects.Inc()
-		return nil, ErrQueueFull
-	}
-	return s.wait(ctx, f)
-}
-
-// wait blocks until the flight completes or ctx is done, whichever is
-// first. A waiter abandoning a flight does not cancel it for the others;
-// when the *last* waiter leaves an unfinished flight, its detached context
-// is cancelled so abandoned simulations stop consuming workers.
-func (s *Service) wait(ctx context.Context, f *flight) (*cached, error) {
-	select {
-	case <-f.done:
-		return f.val, f.err
-	case <-ctx.Done():
-		s.mu.Lock()
-		f.waiters--
-		last := f.waiters == 0
-		s.mu.Unlock()
-		if last {
-			select {
-			case <-f.done:
-				// The flight finished while this waiter was leaving; its
-				// result is already cached. Nothing to cancel.
-			default:
-				f.cancel()
-			}
-		}
-		return nil, ctx.Err()
-	}
+	return v, err
 }

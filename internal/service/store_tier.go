@@ -1,16 +1,24 @@
 package service
 
-import "repro/internal/store"
+import (
+	"context"
 
-// This file adapts internal/store into the service's second cache tier.
-// Lookup order is memory LRU → disk store → compute; completed
-// computations are persisted write-behind by the worker that ran them.
-// Store failures are never fatal to a request: a bad read quarantines
-// the record and falls through to a recompute, a bad write only costs
-// durability of that one entry. Both are counted in StoreErrors.
+	"repro/internal/coalesce"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// This file adapts internal/store into the service's second cache tier,
+// wired into the coalescer as its SecondTier/Persist hooks. Lookup order
+// is memory LRU → disk store → compute; completed computations are
+// persisted write-behind by the worker that ran them, so draining the
+// pool doubles as a store flush barrier. Store failures are never fatal
+// to a request: a bad read quarantines the record and falls through to a
+// recompute, a bad write only costs durability of that one entry. Both
+// are counted in StoreErrors.
 
 // storeGet probes the durable tier. ok reports a valid disk hit.
-func (s *Service) storeGet(key string) (*cached, bool) {
+func (s *Service) storeGet(ctx context.Context, key string) (*coalesce.Value, bool) {
 	if s.store == nil {
 		return nil, false
 	}
@@ -24,20 +32,21 @@ func (s *Service) storeGet(key string) (*cached, bool) {
 	if !ok {
 		return nil, false
 	}
+	obs.FromContext(ctx).Note("store-hit")
 	s.Metrics.StoreHits.Inc()
-	return &cached{body: e.Body, contentType: e.ContentType, events: e.Events}, true
+	return &coalesce.Value{Body: e.Body, ContentType: e.ContentType, Events: e.Events}, true
 }
 
 // storePut persists a finished result to the durable tier.
-func (s *Service) storePut(key string, v *cached) {
+func (s *Service) storePut(key string, v *coalesce.Value) {
 	if s.store == nil {
 		return
 	}
 	err := s.store.Put(store.Entry{
 		Key:         key,
-		ContentType: v.contentType,
-		Events:      v.events,
-		Body:        v.body,
+		ContentType: v.ContentType,
+		Events:      v.Events,
+		Body:        v.Body,
 	})
 	if err != nil {
 		s.Metrics.StoreErrors.Inc()
