@@ -16,7 +16,14 @@
 // events/s is an improvement, a higher ns/op is a regression. With
 // -fail-above P, the command exits non-zero if any benchmark regresses by
 // more than P percent on a timing metric (ns/op or events/s), which is the
-// contract the bench-compare make target and the CI bench smoke rely on.
+// contract the bench-compare make target and the CI bench smoke rely on;
+// -gate-filter RE narrows that gate to matching benchmark names, so e.g.
+// wedge-scaling numbers recorded on a low-core machine inform without
+// failing the build.
+//
+// The JSON header records goos/goarch/cpu plus the GOMAXPROCS the run used
+// and any wedge counts found in .../wedges=N sub-benchmark names, so a
+// committed baseline declares the conditions it was measured under.
 package main
 
 import (
@@ -52,26 +59,48 @@ type Benchmark struct {
 
 // Report is the top-level JSON document.
 type Report struct {
-	Goos       string       `json:"goos,omitempty"`
-	Goarch     string       `json:"goarch,omitempty"`
-	Pkg        string       `json:"pkg,omitempty"`
-	CPU        string       `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Gomaxprocs is the parallelism the benchmarks ran under, recovered
+	// from the -N suffix go test appends to benchmark names (1 when no
+	// suffix is present). Wedge-scaling numbers are meaningless without it:
+	// a wedges=8 run on GOMAXPROCS=1 measures coordination overhead, not
+	// scaling, so the comparison reader needs the recording conditions.
+	Gomaxprocs int `json:"gomaxprocs,omitempty"`
+	// Wedges lists the wedge counts present in the converted benchmarks'
+	// names (the .../wedges=N sub-benchmarks), ascending, so a baseline
+	// declares which parallel configurations it covers.
+	Wedges     []int        `json:"wedges,omitempty"`
 	Benchmarks []*Benchmark `json:"benchmarks"`
 }
 
 // gomaxprocsSuffix strips the trailing -N procs marker go test appends to
-// benchmark names when GOMAXPROCS > 1.
-var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+// benchmark names when GOMAXPROCS > 1; the value is preserved in the
+// report header.
+var gomaxprocsSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// wedgesName extracts the wedge count from a .../wedges=N sub-benchmark.
+var wedgesName = regexp.MustCompile(`(?:^|/)wedges=(\d+)(?:/|$)`)
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	compare := flag.Bool("compare", false, "compare two JSON reports: benchjson -compare OLD.json NEW.json")
 	failAbove := flag.Float64("fail-above", 0, "with -compare: exit 1 if any benchmark regresses more than this percent on ns/op or events/s (0 disables)")
+	gateFilter := flag.String("gate-filter", "", "with -compare: regexp restricting which benchmarks the -fail-above gate applies to; the delta table always shows everything (use to gate only the serial path when the machine cannot reproduce parallel scaling)")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-compare wants exactly two arguments: OLD.json NEW.json"))
+		}
+		var gate *regexp.Regexp
+		if *gateFilter != "" {
+			var err error
+			if gate, err = regexp.Compile(*gateFilter); err != nil {
+				fatal(fmt.Errorf("-gate-filter: %w", err))
+			}
 		}
 		oldRep, err := readReport(flag.Arg(0))
 		if err != nil {
@@ -81,7 +110,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		regressed := writeComparison(os.Stdout, oldRep, newRep, *failAbove)
+		regressed := writeComparison(os.Stdout, oldRep, newRep, *failAbove, gate)
 		if *failAbove > 0 && len(regressed) > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.1f%%: %s\n",
 				len(regressed), *failAbove, strings.Join(regressed, ", "))
@@ -129,7 +158,7 @@ func convert(r io.Reader) (*Report, error) {
 		case strings.HasPrefix(line, "cpu: "):
 			rep.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
-			if err := addLine(byName, &order, line); err != nil {
+			if err := addLine(rep, byName, &order, line); err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: skipping %q: %v\n", line, err)
 			}
 		}
@@ -139,6 +168,9 @@ func convert(r io.Reader) (*Report, error) {
 	}
 	if len(order) == 0 {
 		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	if rep.Gomaxprocs == 0 {
+		rep.Gomaxprocs = 1 // go test appends no suffix at GOMAXPROCS=1
 	}
 
 	for _, name := range order {
@@ -159,13 +191,30 @@ func convert(r io.Reader) (*Report, error) {
 }
 
 // addLine parses one result line: name, iteration count, then value/unit
-// pairs. Sub-benchmarks keep their full slash-joined name.
-func addLine(byName map[string]*Benchmark, order *[]string, line string) error {
+// pairs. Sub-benchmarks keep their full slash-joined name; the -N procs
+// suffix and any wedges=N path segment are folded into the report header.
+func addLine(rep *Report, byName map[string]*Benchmark, order *[]string, line string) error {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || len(fields)%2 != 0 {
 		return fmt.Errorf("want an even field count of at least 4, got %d", len(fields))
 	}
-	name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+	name := fields[0]
+	if m := gomaxprocsSuffix.FindStringSubmatch(name); m != nil {
+		if n, err := strconv.Atoi(m[1]); err == nil && n > rep.Gomaxprocs {
+			rep.Gomaxprocs = n
+		}
+		name = name[:len(name)-len(m[0])]
+	}
+	if m := wedgesName.FindStringSubmatch(name); m != nil {
+		if n, err := strconv.Atoi(m[1]); err == nil {
+			i := sort.SearchInts(rep.Wedges, n)
+			if i == len(rep.Wedges) || rep.Wedges[i] != n {
+				rep.Wedges = append(rep.Wedges, 0)
+				copy(rep.Wedges[i+1:], rep.Wedges[i:])
+				rep.Wedges[i] = n
+			}
+		}
+	}
 	iters, err := strconv.ParseFloat(fields[1], 64)
 	if err != nil {
 		return fmt.Errorf("iteration count: %w", err)
@@ -268,8 +317,9 @@ func compareReports(oldRep, newRep *Report) (names []string, table map[string][]
 
 // writeComparison prints the delta table and returns the names of
 // benchmarks whose timing metrics regressed beyond failAbove percent
-// (empty when failAbove <= 0).
-func writeComparison(w io.Writer, oldRep, newRep *Report, failAbove float64) []string {
+// (empty when failAbove <= 0). A non-nil gate restricts the failure check
+// to matching benchmark names; the table itself is never filtered.
+func writeComparison(w io.Writer, oldRep, newRep *Report, failAbove float64, gate *regexp.Regexp) []string {
 	names, table := compareReports(oldRep, newRep)
 
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
@@ -305,7 +355,7 @@ func writeComparison(w io.Writer, oldRep, newRep *Report, failAbove float64) []s
 			}
 		}
 		fmt.Fprintln(tw)
-		if failAbove > 0 && bad {
+		if failAbove > 0 && bad && (gate == nil || gate.MatchString(name)) {
 			regressed = append(regressed, name)
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -61,7 +62,7 @@ func TestCompareImprovementPasses(t *testing.T) {
 	oldRep := report("BenchmarkX", 1000, 1e6, 100, 5)
 	newRep := report("BenchmarkX", 700, 1.4e6, 50, 2)
 	var sb strings.Builder
-	regressed := writeComparison(&sb, oldRep, newRep, 5)
+	regressed := writeComparison(&sb, oldRep, newRep, 5, nil)
 	if len(regressed) != 0 {
 		t.Fatalf("improvement flagged as regression: %v\n%s", regressed, sb.String())
 	}
@@ -78,17 +79,17 @@ func TestCompareFlagsTimingRegression(t *testing.T) {
 	// ns/op up 10%, events/s down 10%: both beyond a 5% gate.
 	newRep := report("BenchmarkX", 1100, 0.9e6, 100, 5)
 	var sb strings.Builder
-	regressed := writeComparison(&sb, oldRep, newRep, 5)
+	regressed := writeComparison(&sb, oldRep, newRep, 5, nil)
 	if len(regressed) != 1 || regressed[0] != "BenchmarkX" {
 		t.Fatalf("regression not flagged: %v\n%s", regressed, sb.String())
 	}
 	// The same delta passes a looser gate.
-	regressed = writeComparison(&strings.Builder{}, oldRep, newRep, 15)
+	regressed = writeComparison(&strings.Builder{}, oldRep, newRep, 15, nil)
 	if len(regressed) != 0 {
 		t.Fatalf("regression within a 15%% gate was flagged: %v", regressed)
 	}
 	// And is reported but not gated when the gate is disabled.
-	regressed = writeComparison(&strings.Builder{}, oldRep, newRep, 0)
+	regressed = writeComparison(&strings.Builder{}, oldRep, newRep, 0, nil)
 	if len(regressed) != 0 {
 		t.Fatalf("disabled gate still flagged: %v", regressed)
 	}
@@ -98,7 +99,7 @@ func TestCompareMemoryOnlyRegressionNotGated(t *testing.T) {
 	oldRep := report("BenchmarkX", 1000, 1e6, 100, 5)
 	// Allocations doubled but timing held: the gate covers timing only.
 	newRep := report("BenchmarkX", 1000, 1e6, 200, 10)
-	regressed := writeComparison(&strings.Builder{}, oldRep, newRep, 5)
+	regressed := writeComparison(&strings.Builder{}, oldRep, newRep, 5, nil)
 	if len(regressed) != 0 {
 		t.Fatalf("memory-only delta tripped the timing gate: %v", regressed)
 	}
@@ -108,7 +109,7 @@ func TestCompareDisjointBenchmarksListed(t *testing.T) {
 	oldRep := report("BenchmarkGone", 1000, 1e6, 100, 5)
 	newRep := report("BenchmarkNew", 900, 1.1e6, 100, 5)
 	var sb strings.Builder
-	regressed := writeComparison(&sb, oldRep, newRep, 5)
+	regressed := writeComparison(&sb, oldRep, newRep, 5, nil)
 	if len(regressed) != 0 {
 		t.Fatalf("disjoint benchmarks flagged: %v", regressed)
 	}
@@ -121,6 +122,63 @@ func TestCompareDisjointBenchmarksListed(t *testing.T) {
 	}
 }
 
+func TestConvertRecordsRunConditions(t *testing.T) {
+	text := `goos: linux
+BenchmarkWedgeScaling/L1000_W500/wedges=1-8  3  800000000 ns/op  3.6e6 events/s
+BenchmarkWedgeScaling/L1000_W500/wedges=4-8  3  300000000 ns/op  1.1e7 events/s
+BenchmarkWedgeScaling/L1000_W500/wedges=2-8  3  500000000 ns/op  6.9e6 events/s
+PASS
+`
+	rep, err := convert(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gomaxprocs != 8 {
+		t.Fatalf("Gomaxprocs = %d, want 8", rep.Gomaxprocs)
+	}
+	if len(rep.Wedges) != 3 || rep.Wedges[0] != 1 || rep.Wedges[1] != 2 || rep.Wedges[2] != 4 {
+		t.Fatalf("Wedges = %v, want [1 2 4]", rep.Wedges)
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkWedgeScaling/L1000_W500/wedges=1" {
+		t.Fatalf("procs suffix handling broke the name: %q", rep.Benchmarks[0].Name)
+	}
+}
+
+func TestConvertDefaultsGomaxprocsToOne(t *testing.T) {
+	rep, err := convert(strings.NewReader("BenchmarkX 10 100 ns/op\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gomaxprocs != 1 {
+		t.Fatalf("Gomaxprocs = %d, want 1 (no -N suffix)", rep.Gomaxprocs)
+	}
+}
+
+func TestCompareGateFilter(t *testing.T) {
+	oldRep := report("BenchmarkWedgeScaling/wedges=8", 1000, 1e6, 100, 5)
+	oldRep.Benchmarks = append(oldRep.Benchmarks,
+		report("BenchmarkWedgeScaling/wedges=1", 1000, 1e6, 100, 5).Benchmarks...)
+	newRep := report("BenchmarkWedgeScaling/wedges=8", 1500, 0.7e6, 100, 5) // -50% timing
+	newRep.Benchmarks = append(newRep.Benchmarks,
+		report("BenchmarkWedgeScaling/wedges=1", 1020, 0.98e6, 100, 5).Benchmarks...) // -2%
+
+	// Ungated: the wedges=8 regression fails.
+	if regressed := writeComparison(&strings.Builder{}, oldRep, newRep, 5, nil); len(regressed) != 1 {
+		t.Fatalf("ungated comparison: %v", regressed)
+	}
+	// Gated to the serial path: the parallel regression informs but does
+	// not fail; the serial 2% stays inside the gate.
+	gate := regexp.MustCompile(`wedges=1$`)
+	var sb strings.Builder
+	if regressed := writeComparison(&sb, oldRep, newRep, 5, gate); len(regressed) != 0 {
+		t.Fatalf("gate-filtered comparison flagged: %v", regressed)
+	}
+	// The table still shows the filtered-out benchmark.
+	if !strings.Contains(sb.String(), "wedges=8") {
+		t.Fatalf("gate filter dropped a benchmark from the table:\n%s", sb.String())
+	}
+}
+
 func TestCompareMissingMetricSkipped(t *testing.T) {
 	oldRep := report("BenchmarkX", 1000, 1e6, 100, 5)
 	newRep := &Report{Benchmarks: []*Benchmark{{
@@ -128,7 +186,7 @@ func TestCompareMissingMetricSkipped(t *testing.T) {
 		Metrics: map[string]*Metric{"ns/op": {Mean: 1500}},
 	}}}
 	var sb strings.Builder
-	regressed := writeComparison(&sb, oldRep, newRep, 5)
+	regressed := writeComparison(&sb, oldRep, newRep, 5, nil)
 	if len(regressed) != 1 {
 		t.Fatalf("ns/op regression with missing events/s not flagged: %v\n%s", regressed, sb.String())
 	}

@@ -41,9 +41,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -65,6 +67,7 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug|info|warn|error (debug logs every request)")
 		debugRing    = flag.Int("debug-requests", 64, "completed request traces kept for GET /v1/debug/requests (negative disables)")
 		flightEvents = flag.Int("flight-events", 4096, "sim events retained by the ?trace=1 flight recorder (negative disables)")
+		wedges       = flag.String("wedges", "0", "wedge-parallel engine per simulation: column wedge count, or 'auto' for GOMAXPROCS; 0/1 = serial (sweeps already parallelize across runs); results and cache keys are identical either way")
 
 		routerOn       = flag.Bool("router", false, "run as a fleet router: forward to -peers instead of executing locally")
 		peers          = flag.String("peers", "", "comma-separated backend base URLs for -router (e.g. http://n1:8081,http://n2:8081)")
@@ -80,6 +83,12 @@ func main() {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
+
+	nWedges, err := parseWedges(*wedges)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hexd: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *routerOn {
 		runRouter(logger, routerConfig{
@@ -122,6 +131,7 @@ func main() {
 		Logger:         logger,
 		TraceRing:      *debugRing,
 		FlightEvents:   *flightEvents,
+		Wedges:         nWedges,
 	})
 	handler := svc.Handler()
 	if *pprofOn {
@@ -168,4 +178,17 @@ func main() {
 	}
 	svc.Close()
 	logger.Info("drained, bye")
+}
+
+// parseWedges maps the -wedges flag value to a service.Options.Wedges
+// count: "auto" sizes from GOMAXPROCS, otherwise a non-negative integer.
+func parseWedges(s string) (int, error) {
+	if s == "auto" {
+		return core.AutoWedges, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid -wedges %q: want a non-negative integer or 'auto'", s)
+	}
+	return n, nil
 }

@@ -29,13 +29,30 @@ func TestGoldenRun(t *testing.T) {
 		t.Fatalf("sample counts changed: %d/%d", rep.IntraSummary.N, rep.InterSummary.N)
 	}
 	approx("intra.Min", rep.IntraSummary.Min, 0.001)
-	approx("intra.Avg", rep.IntraSummary.Avg, 0.5029840000000003)
-	approx("intra.Max", rep.IntraSummary.Max, 5.724)
+	approx("intra.Avg", rep.IntraSummary.Avg, 0.46874600000000005)
+	approx("intra.Max", rep.IntraSummary.Max, 5.825)
 	approx("inter.Min", rep.InterSummary.Min, 7.164)
-	approx("inter.Avg", rep.InterSummary.Avg, 8.028129000000002)
-	approx("inter.Max", rep.InterSummary.Max, 14.699)
+	approx("inter.Avg", rep.InterSummary.Avg, 7.999080999999997)
+	approx("inter.Max", rep.InterSummary.Max, 14.707)
 
-	if got := rep.Wave.T[g.NodeID(50, 0)]; got != 405024*Picosecond {
-		t.Errorf("t(50,0) = %v, want 405.024ns", got)
+	if got := rep.Wave.T[g.NodeID(50, 0)]; got != 403577*Picosecond {
+		t.Errorf("t(50,0) = %v, want 403.577ns", got)
+	}
+
+	// The wedge-parallel engine must reproduce the same golden run bit for
+	// bit: Wedges is a performance knob, not part of a run's identity.
+	for _, p := range []int{2, 8} {
+		rp, err := RunPulse(PulseConfig{Grid: g, Scenario: ScenarioUniformDPlus, Seed: 424242, Wedges: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Result.Events != rep.Result.Events {
+			t.Errorf("wedges=%d: %d events, serial executed %d", p, rp.Result.Events, rep.Result.Events)
+		}
+		for n := range rep.Wave.T {
+			if rp.Wave.T[n] != rep.Wave.T[n] {
+				t.Fatalf("wedges=%d: t[%d] = %v, serial %v", p, n, rp.Wave.T[n], rep.Wave.T[n])
+			}
+		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/delay"
 	"repro/internal/fault"
@@ -36,6 +37,16 @@ type Config struct {
 	// Horizon stops the simulation; 0 derives a horizon that lets the last
 	// pulse traverse the grid with ample slack.
 	Horizon sim.Time
+	// Wedges selects the conservative wedge-parallel engine: P ≥ 2 runs P
+	// worker goroutines over P contiguous column wedges of the grid;
+	// AutoWedges resolves to GOMAXPROCS. 0 or 1 runs the serial engine.
+	// Configurations the parallel engine cannot serve — a topology without
+	// column structure, an installed Trace or OnTrigger observer, or a
+	// resolved count below 2 — silently fall back to serial. The engine
+	// choice is invisible in the Result: every wedge count produces
+	// bit-identical output for equal Configs (the differential tests pin
+	// this), so Wedges is a performance knob, not part of a run's identity.
+	Wedges int
 	// Context, if non-nil, makes the run cancellable: the engine polls it
 	// every few hundred events and stops early once the context is done.
 	// Run then returns the partial Result (triggers and event counts up to
@@ -49,6 +60,9 @@ type Config struct {
 	// flag expiries, fires, sleep/wake transitions).
 	Trace Tracer
 }
+
+// AutoWedges, as Config.Wedges, selects one wedge per available CPU.
+const AutoWedges = -1
 
 // Result holds the observables of one run. A Result owns its memory: it
 // never aliases arena storage, so it stays valid after the arena that
@@ -74,19 +88,90 @@ const (
 	evWake                    // a = node, b = gen
 )
 
+// noBatchDispatch, when set, makes every run dispatch typed events one at
+// a time instead of through the BatchDispatcher fast path. The pop order —
+// and therefore every observable, including Tracer callback order — is
+// identical either way; tests flip this to prove exactly that.
+var noBatchDispatch bool
+
+// forceHeapQueue, when set, routes the serial engine's events through the
+// 4-ary overflow heap instead of the calendar ring. It exists for the
+// three-way differential fuzzer: calendar, heap, and wedge-parallel arms
+// must all produce identical Results.
+var forceHeapQueue bool
+
+// network binds a Config to its execution state. Its storage (the SoA node
+// and input slabs of soa.go, the seq/draw counter slabs, trigger
+// accumulators, engine queues) survives across runs when driven through an
+// Arena; build re-initializes every field, so a reused network is
+// observationally identical to a fresh one.
+//
+// The event handlers live on executor, not network: a serial run uses the
+// single nw.serial executor bound to nw.eng, a parallel run uses one
+// executor per wedge bound to that wedge's engine. All executors share the
+// network's slabs — safely, because every event that touches node n's
+// state (its cell, inputs, counters, trigger log) is dispatched in the
+// wedge that owns n, so slab access is disjoint by index. The per-node
+// counters are also what makes execution partition-stable: event keys and
+// random draws depend only on the owning node's history, never on the
+// global interleaving, so serial and parallel runs are bit-identical.
+type network struct {
+	cfg Config
+	eng sim.Engine // serial engine; parallel engines live in par
+	g   *grid.Graph
+	// Structure-of-arrays simulation state; see soa.go for the layout.
+	cells    []nodeCell
+	wakeGen  []uint32
+	inOff    []int32
+	inBits   []uint8
+	inGen    []uint32
+	triggers [][]sim.Time // arena-owned accumulators, snapshot into Result
+	// seqCtr[n] counts events produced by node n; an event's queue key is
+	// seqCtr<<seqShift | producer, unique and independent of partitioning.
+	seqCtr   []uint64
+	seqShift uint
+	// rngCtr[n] counts node n's random-draw sites; each site derives its
+	// values from (drawSeed, n, rngCtr[n]) so draws are partition-stable.
+	rngCtr   []uint64
+	drawSeed uint64
+	// lastGraph remembers which topology the slabs are sized for; a run on
+	// a different *grid.Graph re-slices from scratch.
+	lastGraph *grid.Graph
+
+	serial executor  // the serial run's executor, bound to eng
+	par    *parState // cached wedge-parallel scaffolding; see parallel.go
+	parRun bool      // whether the current run uses the parallel engine
+}
+
+// executor runs event handlers against one engine — the serial engine, or
+// one wedge's engine. It implements sim.Dispatcher/BatchDispatcher.
+type executor struct {
+	nw  *network
+	eng *sim.Engine
+	// wedge/wedgeOf are set in parallel mode only: wedge is this executor's
+	// sim.Wedge (for cross-wedge sends) and wedgeOf maps node ids to wedge
+	// indices. A nil wedge means every delivery is local.
+	wedge   *sim.Wedge
+	wedgeOf []int16
+	// scratch is reseeded from the producing node's counter stream at each
+	// multi-draw site (broadcast, randomizeState); single draws use
+	// streamTimeIn directly.
+	scratch sim.RNG
+}
+
 // Dispatch implements sim.Dispatcher.
-func (nw *network) Dispatch(kind uint8, a, b int64) {
+func (ex *executor) Dispatch(kind uint8, a, b int64) {
 	switch kind {
 	case evSourceFire:
-		nw.fireSource(int(a))
+		ex.fireSource(int(a))
 	case evCheck:
-		nw.checkFire(int(a))
+		ex.checkFire(int(a))
 	case evDeliver:
-		nw.deliver(int(a), int(uint32(b)), int(b>>32))
+		ex.deliver(int(a), int(uint32(b)), int(b>>32))
 	case evExpire:
-		nw.expireFlag(int(a), int(uint32(b)), uint32(b>>32))
+		ex.expireFlag(int(a), int(uint32(b)), uint32(b>>32))
 	case evWake:
-		nw.wake(int(a), uint32(b))
+		ex.wake(int(a), uint32(b))
 	default:
 		panic("core: unknown event kind")
 	}
@@ -96,40 +181,11 @@ func (nw *network) Dispatch(kind uint8, a, b int64) {
 // of same-instant typed events here in one call, in exactly the order
 // repeated Dispatch calls would have seen them, amortizing the engine's
 // per-event loop overhead across the batch.
-func (nw *network) DispatchBatch(at sim.Time, evs []sim.EventRec) {
+func (ex *executor) DispatchBatch(at sim.Time, evs []sim.EventRec) {
 	for i := range evs {
 		ev := &evs[i]
-		nw.Dispatch(ev.Kind, ev.A, ev.B)
+		ex.Dispatch(ev.Kind, ev.A, ev.B)
 	}
-}
-
-// noBatchDispatch, when set, makes every run dispatch typed events one at
-// a time instead of through the BatchDispatcher fast path. The pop order —
-// and therefore every observable, including Tracer callback order — is
-// identical either way; tests flip this to prove exactly that.
-var noBatchDispatch bool
-
-// network binds a Config to a running engine. Its storage (the SoA node
-// and input slabs of soa.go, trigger accumulators, engine queue) survives
-// across runs when driven through an Arena; build re-initializes every
-// field, so a reused network is observationally identical to a fresh one.
-type network struct {
-	cfg      Config
-	eng      sim.Engine
-	g        *grid.Graph
-	rngDelay sim.RNG
-	rngTimer sim.RNG
-	rngInit  sim.RNG
-	// Structure-of-arrays simulation state; see soa.go for the layout.
-	cells    []nodeCell
-	wakeGen  []uint32
-	inOff    []int32
-	inBits   []uint8
-	inGen    []uint32
-	triggers [][]sim.Time // arena-owned accumulators, snapshot into Result
-	// lastGraph remembers which topology the slabs are sized for; a run on
-	// a different *grid.Graph re-slices from scratch.
-	lastGraph *grid.Graph
 }
 
 // run executes the simulation described by cfg and returns its result.
@@ -153,32 +209,56 @@ func (nw *network) run(cfg Config) (*Result, error) {
 
 	nw.cfg = cfg
 	nw.g = cfg.Graph
-	nw.eng.Reset()
-	nw.eng.SetHorizonHint(cfg.Params.MaxEventDelta())
-	nw.rngDelay.Reseed(sim.DeriveSeed(cfg.Seed, "delay"))
-	nw.rngTimer.Reseed(sim.DeriveSeed(cfg.Seed, "timer"))
-	nw.rngInit.Reseed(sim.DeriveSeed(cfg.Seed, "init"))
-	nw.eng.SetDispatcher(nw)
-	nw.eng.SetBatching(!noBatchDispatch)
+	nw.drawSeed = sim.DeriveSeed(cfg.Seed, "draw")
+
+	wedges := nw.resolveWedges()
+	nw.parRun = wedges > 1
+	if nw.parRun {
+		if err := nw.setupParallel(wedges); err != nil {
+			return nil, err
+		}
+	} else {
+		nw.eng.Reset()
+		nw.eng.UseHeapQueue(forceHeapQueue)
+		nw.eng.SetHorizonHint(cfg.Params.MaxEventDelta())
+		nw.serial = executor{nw: nw, eng: &nw.eng}
+		nw.eng.SetDispatcher(&nw.serial)
+		nw.eng.SetBatching(!noBatchDispatch)
+	}
 	if ctx := cfg.Context; ctx != nil {
 		if err := ctx.Err(); err != nil {
 			nw.release()
 			return &Result{Triggers: make([][]sim.Time, cfg.Graph.NumNodes())}, err
 		}
-		nw.eng.SetStopCheck(0, func() bool { return ctx.Err() != nil })
+		stop := func() bool { return ctx.Err() != nil }
+		if nw.parRun {
+			for i := 0; i < nw.par.p; i++ {
+				nw.par.group.Wedge(i).Engine().SetStopCheck(0, stop)
+			}
+		} else {
+			nw.eng.SetStopCheck(0, stop)
+		}
 	}
 	nw.build()
 	horizon := cfg.Horizon
 	if horizon == 0 {
 		horizon = nw.autoHorizon()
 	}
-	nw.eng.Run(horizon)
+	var events uint64
+	var interrupted bool
+	if nw.parRun {
+		events = nw.par.group.Run(horizon)
+		interrupted = nw.par.group.Interrupted()
+	} else {
+		nw.eng.Run(horizon)
+		events = nw.eng.Executed
+		interrupted = nw.eng.Interrupted()
+	}
 	res := &Result{
 		Triggers: nw.snapshotTriggers(),
-		Events:   nw.eng.Executed,
+		Events:   events,
 		Horizon:  horizon,
 	}
-	interrupted := nw.eng.Interrupted()
 	nw.release()
 	if interrupted {
 		return res, cfg.Context.Err()
@@ -192,6 +272,11 @@ func (nw *network) run(cfg Config) (*Result, error) {
 func (nw *network) release() {
 	nw.cfg = Config{}
 	nw.eng.SetStopCheck(0, nil)
+	if nw.par != nil {
+		for i := 0; i < nw.par.p; i++ {
+			nw.par.group.Wedge(i).Engine().SetStopCheck(0, nil)
+		}
+	}
 }
 
 // snapshotTriggers copies the arena's trigger accumulators into compact,
@@ -230,11 +315,55 @@ func (nw *network) autoHorizon() sim.Time {
 	return nw.cfg.Schedule.End() + slack + p.TSleepMax + p.TLinkMax
 }
 
+// engineFor returns the engine that owns node id's events: the serial
+// engine, or in a parallel run the engine of the wedge the node's column
+// belongs to. Build-time scheduling uses it to seed each wedge's queue
+// directly (the workers are not running yet).
+func (nw *network) engineFor(id int) *sim.Engine {
+	if nw.parRun {
+		return nw.par.group.Wedge(int(nw.par.cut.WedgeOf[id])).Engine()
+	}
+	return &nw.eng
+}
+
+// nextSeq allocates node's next partition-stable event key: the node's
+// event counter striped over the node id. Keys are unique across the run
+// (counter·2^seqShift + id is injective) and depend only on the producing
+// node's history, so serial and parallel runs assign identical keys to
+// identical events — the property the cross-wedge (at, seq) merge relies
+// on for determinism.
+func (nw *network) nextSeq(node int) uint64 {
+	s := nw.seqCtr[node]
+	nw.seqCtr[node] = s + 1
+	return s<<nw.seqShift | uint64(node)
+}
+
+// streamTimeIn draws a uniform Time in [lo, hi] from node's counter
+// stream: one DeriveStream call, no RNG state. The modulo bias over a
+// 64-bit stream value is < 2^-50 for every span this simulator uses. Used
+// by the single-draw sites (link and sleep timers); multi-draw sites
+// reseed the executor's scratch RNG instead.
+func (nw *network) streamTimeIn(node int, lo, hi sim.Time) sim.Time {
+	v := sim.DeriveStream(nw.drawSeed, uint64(node), nw.rngCtr[node])
+	nw.rngCtr[node]++
+	return lo + sim.Time(v%uint64(hi-lo+1))
+}
+
+// reseedScratch points the executor's scratch RNG at the producing node's
+// next counter-stream value; subsequent draws consume the scratch stream
+// sequentially. One counter tick covers the whole multi-draw site.
+func (ex *executor) reseedScratch(node int) {
+	nw := ex.nw
+	ex.scratch.Reseed(sim.DeriveStream(nw.drawSeed, uint64(node), nw.rngCtr[node]))
+	nw.rngCtr[node]++
+}
+
 // build initializes the state slabs, static stuck-at-1 inputs, the layer-0
 // schedule, random initial states, and the time-0 guard checks. On a reused
 // network it re-initializes every slab entry of the retained storage
 // instead of allocating; only a topology change (different *grid.Graph)
-// re-slices.
+// re-slices. In a parallel run it seeds each wedge engine's queue with the
+// events of the nodes that wedge owns.
 func (nw *network) build() {
 	g := nw.g
 	n := g.NumNodes()
@@ -253,13 +382,18 @@ func (nw *network) build() {
 		nw.inBits = make([]uint8, totalIn)
 		nw.inGen = make([]uint32, totalIn)
 		nw.triggers = make([][]sim.Time, n)
+		nw.seqCtr = make([]uint64, n)
+		nw.rngCtr = make([]uint64, n)
 		nw.lastGraph = g
 	}
+	nw.seqShift = uint(bits.Len(uint(n - 1)))
 
 	for id := 0; id < n; id++ {
 		cell := &nw.cells[id]
 		*cell = nodeCell{}
 		nw.wakeGen[id] = 0
+		nw.seqCtr[id] = 0
+		nw.rngCtr[id] = 0
 		if plan.IsFaulty(id) {
 			cell.flags |= nodeFaulty
 		}
@@ -289,7 +423,7 @@ func (nw *network) build() {
 			if nw.cells[id].flags&nodeFaulty != 0 {
 				continue
 			}
-			nw.eng.ScheduleEvent(at, evSourceFire, int64(id), 0)
+			nw.engineFor(id).ScheduleEventKeyed(at, nw.nextSeq(id), evSourceFire, int64(id), 0)
 		}
 	}
 
@@ -303,18 +437,25 @@ func (nw *network) build() {
 		}
 		// Evaluate the guard at time 0: stuck-at-1 inputs or arbitrary
 		// initial flags may already satisfy it.
-		nw.eng.ScheduleEvent(0, evCheck, int64(id), 0)
+		nw.engineFor(id).ScheduleEventKeyed(0, nw.nextSeq(id), evCheck, int64(id), 0)
 	}
 }
 
 // randomizeState puts node id into an arbitrary state of the Fig. 7 state
 // machines: either asleep with an arbitrary residual sleep time, or awake
-// with arbitrary memory flags carrying arbitrary residual link timers.
+// with arbitrary memory flags carrying arbitrary residual link timers. It
+// runs at build time (single-threaded) but draws from node id's counter
+// stream, so the state is independent of node enumeration order and of the
+// engine the node's events land in.
 func (nw *network) randomizeState(id int) {
 	p := nw.cfg.Params
-	if nw.rngInit.Bool() {
+	eng := nw.engineFor(id)
+	var rng sim.RNG
+	rng.Reseed(sim.DeriveStream(nw.drawSeed, uint64(id), nw.rngCtr[id]))
+	nw.rngCtr[id]++
+	if rng.Bool() {
 		nw.cells[id].flags |= nodeSleeping
-		nw.eng.ScheduleEvent(nw.rngInit.TimeIn(0, p.TSleepMax),
+		eng.ScheduleEventKeyed(rng.TimeIn(0, p.TSleepMax), nw.nextSeq(id),
 			evWake, int64(id), int64(nw.wakeGen[id]))
 		// The flags may additionally hold arbitrary values; they will be
 		// cleared on wake-up anyway, but can matter if timers expire first.
@@ -324,13 +465,13 @@ func (nw *network) randomizeState(id int) {
 		if modeOf(nw.inBits[slot]) != fault.LinkCorrect {
 			continue
 		}
-		if !nw.rngInit.Bool() {
+		if !rng.Bool() {
 			continue
 		}
 		nw.setFlag(id, slot)
 		if p.LinkTimersEnabled() {
-			residual := nw.rngInit.TimeIn(0, p.TLinkMax)
-			nw.eng.ScheduleEvent(residual, evExpire,
+			residual := rng.TimeIn(0, p.TLinkMax)
+			eng.ScheduleEventKeyed(residual, nw.nextSeq(id), evExpire,
 				int64(id), int64(slot-lo)|int64(nw.inGen[slot])<<32)
 		}
 	}
@@ -357,26 +498,39 @@ func (nw *network) clearFlag(id, slot int) {
 }
 
 // fireSource makes a layer-0 node emit a pulse.
-func (nw *network) fireSource(id int) {
-	nw.recordTrigger(id, true)
-	nw.broadcast(id)
+func (ex *executor) fireSource(id int) {
+	ex.recordTrigger(id, true)
+	ex.broadcast(id)
 }
 
-// broadcast sends trigger messages over all of id's outgoing links.
-func (nw *network) broadcast(id int) {
-	now := nw.eng.Now()
+// broadcast sends trigger messages over all of id's outgoing links. The
+// per-link delay draws consume id's scratch stream in out-link order; a
+// destination in another wedge receives through its ring, everything else
+// is scheduled locally under the same partition-stable keys.
+func (ex *executor) broadcast(id int) {
+	nw := ex.nw
+	now := ex.eng.Now()
+	ex.reseedScratch(id)
 	for _, out := range nw.g.Out(id) {
 		switch nw.cfg.Faults.Link(id, out.To) {
 		case fault.LinkCorrect:
-			d := nw.cfg.Delay.Delay(id, out.To, now, &nw.rngDelay)
+			d := nw.cfg.Delay.Delay(id, out.To, now, &ex.scratch)
 			if d < 0 {
 				panic("core: delay model returned a negative delay")
 			}
 			if nw.cfg.Trace != nil {
 				nw.cfg.Trace.Send(id, out.To, now, now+d)
 			}
-			nw.eng.ScheduleEvent(now+d, evDeliver,
-				int64(id), int64(out.To)|int64(out.InIdx)<<32)
+			at := now + d
+			seq := nw.nextSeq(id)
+			b := int64(out.To) | int64(out.InIdx)<<32
+			if ex.wedge != nil && ex.wedgeOf[out.To] != ex.wedgeOf[id] {
+				ex.wedge.Send(int(ex.wedgeOf[out.To]), sim.BoundaryEvent{
+					At: at, Seq: seq, Kind: evDeliver, A: int64(id), B: b,
+				})
+			} else {
+				ex.eng.ScheduleEventKeyed(at, seq, evDeliver, int64(id), b)
+			}
 		default:
 			// Stuck links never carry discrete messages; stuck-at-1 is
 			// modelled as a permanently set input at the receiver.
@@ -388,13 +542,13 @@ func (nw *network) broadcast(id int) {
 // (the "upon receiving trigger message from neighbor" rule of Algorithm 1).
 // idx is the precomputed index of the input the message drives (the
 // reverse-edge index carried by the event payload).
-func (nw *network) deliver(from, to, idx int) {
-	accepted := nw.deliverAccept(to, idx)
-	if nw.cfg.Trace != nil {
-		nw.cfg.Trace.Deliver(from, to, nw.eng.Now(), accepted)
+func (ex *executor) deliver(from, to, idx int) {
+	accepted := ex.deliverAccept(to, idx)
+	if ex.nw.cfg.Trace != nil {
+		ex.nw.cfg.Trace.Deliver(from, to, ex.eng.Now(), accepted)
 	}
 	if accepted {
-		nw.checkFire(to)
+		ex.checkFire(to)
 	}
 }
 
@@ -402,7 +556,8 @@ func (nw *network) deliver(from, to, idx int) {
 // message was memorized. The fast path reads one nodeCell byte and one
 // input byte: a correct, clear input has both mode bits and the set bit at
 // zero, so eligibility is a single mask test.
-func (nw *network) deliverAccept(to, idx int) bool {
+func (ex *executor) deliverAccept(to, idx int) bool {
+	nw := ex.nw
 	if nw.cells[to].flags&(nodeFaulty|nodeSource) != 0 {
 		return false
 	}
@@ -419,8 +574,8 @@ func (nw *network) deliverAccept(to, idx int) bool {
 	gen := nw.inGen[slot] + 1
 	nw.inGen[slot] = gen
 	if nw.cfg.Params.LinkTimersEnabled() {
-		dur := nw.rngTimer.TimeIn(nw.cfg.Params.TLinkMin, nw.cfg.Params.TLinkMax)
-		nw.eng.ScheduleEventAfter(dur, evExpire,
+		dur := nw.streamTimeIn(to, nw.cfg.Params.TLinkMin, nw.cfg.Params.TLinkMax)
+		ex.eng.ScheduleEventKeyed(ex.eng.Now()+dur, nw.nextSeq(to), evExpire,
 			int64(to), int64(idx)|int64(gen)<<32)
 	}
 	return true
@@ -428,7 +583,8 @@ func (nw *network) deliverAccept(to, idx int) bool {
 
 // expireFlag clears a memory flag when its link timer fires, unless the
 // flag has been cleared and re-set since the timer started.
-func (nw *network) expireFlag(id, idx int, gen uint32) {
+func (ex *executor) expireFlag(id, idx int, gen uint32) {
+	nw := ex.nw
 	slot := int(nw.inOff[id]) + idx
 	bits := nw.inBits[slot]
 	if nw.inGen[slot] != gen || modeOf(bits) == fault.LinkStuck1 {
@@ -438,14 +594,15 @@ func (nw *network) expireFlag(id, idx int, gen uint32) {
 		nw.clearFlag(id, slot)
 	}
 	if nw.cfg.Trace != nil {
-		nw.cfg.Trace.FlagExpire(id, idx, nw.eng.Now())
+		nw.cfg.Trace.FlagExpire(id, idx, ex.eng.Now())
 	}
 }
 
 // guardSatisfied evaluates the firing guard against the incrementally
 // maintained per-role counters in the node's cell: O(guard pairs), no
 // input rescan, one contiguous load.
-func (nw *network) guardSatisfied(id int) bool {
+func (ex *executor) guardSatisfied(id int) bool {
+	nw := ex.nw
 	cnt := &nw.cells[id].roleCnt
 	switch nw.cfg.Params.Guard {
 	case GuardAdjacent:
@@ -472,29 +629,31 @@ func (nw *network) guardSatisfied(id int) bool {
 // (ready → firing → sleeping in Fig. 7a). Any set flag bit — sleeping,
 // faulty, or source — disqualifies the node, so the not-ready test is one
 // byte compare.
-func (nw *network) checkFire(id int) {
+func (ex *executor) checkFire(id int) {
+	nw := ex.nw
 	if nw.cells[id].flags != 0 {
 		return
 	}
-	if !nw.guardSatisfied(id) {
+	if !ex.guardSatisfied(id) {
 		return
 	}
-	nw.recordTrigger(id, false)
-	nw.broadcast(id)
+	ex.recordTrigger(id, false)
+	ex.broadcast(id)
 	nw.cells[id].flags |= nodeSleeping
 	gen := nw.wakeGen[id] + 1
 	nw.wakeGen[id] = gen
 	if nw.cfg.Trace != nil {
-		nw.cfg.Trace.Sleep(id, nw.eng.Now())
+		nw.cfg.Trace.Sleep(id, ex.eng.Now())
 	}
-	dur := nw.rngTimer.TimeIn(nw.cfg.Params.TSleepMin, nw.cfg.Params.TSleepMax)
-	nw.eng.ScheduleEventAfter(dur, evWake, int64(id), int64(gen))
+	dur := nw.streamTimeIn(id, nw.cfg.Params.TSleepMin, nw.cfg.Params.TSleepMax)
+	ex.eng.ScheduleEventKeyed(ex.eng.Now()+dur, nw.nextSeq(id), evWake, int64(id), int64(gen))
 }
 
 // wake ends the sleep phase, forgetting all previously received trigger
 // messages (the boxed flag-clearing transition of Fig. 7a). The flag sweep
 // is a contiguous scan of the node's input bytes.
-func (nw *network) wake(id int, gen uint32) {
+func (ex *executor) wake(id int, gen uint32) {
+	nw := ex.nw
 	if nw.wakeGen[id] != gen {
 		return
 	}
@@ -510,18 +669,19 @@ func (nw *network) wake(id int, gen uint32) {
 		nw.inGen[slot]++
 	}
 	if nw.cfg.Trace != nil {
-		nw.cfg.Trace.Wake(id, nw.eng.Now())
+		nw.cfg.Trace.Wake(id, ex.eng.Now())
 	}
-	nw.checkFire(id)
+	ex.checkFire(id)
 }
 
 // recordTrigger appends the current time to the node's trigger history.
-func (nw *network) recordTrigger(id int, isSource bool) {
-	nw.triggers[id] = append(nw.triggers[id], nw.eng.Now())
+func (ex *executor) recordTrigger(id int, isSource bool) {
+	nw := ex.nw
+	nw.triggers[id] = append(nw.triggers[id], ex.eng.Now())
 	if nw.cfg.OnTrigger != nil {
-		nw.cfg.OnTrigger(id, nw.eng.Now())
+		nw.cfg.OnTrigger(id, ex.eng.Now())
 	}
 	if nw.cfg.Trace != nil {
-		nw.cfg.Trace.Fire(id, nw.eng.Now(), isSource)
+		nw.cfg.Trace.Fire(id, ex.eng.Now(), isSource)
 	}
 }

@@ -1,0 +1,117 @@
+package core
+
+// Wedge-parallel execution mode: the conservative bounded-window engine of
+// internal/sim/wedge.go applied to the HEX grid.
+//
+// The grid is cut into P contiguous column wedges (grid.CutWedges); each
+// wedge's nodes execute on that wedge's private engine, driven by one
+// worker goroutine. The per-link delay lower bound d− = Params.Bounds.Min
+// is the lookahead: a cross-wedge delivery always arrives at least d−
+// after the event that sent it, so a wedge whose in-neighbors have
+// published frontier C may freely execute through C + d−. Shared SoA slabs
+// stay shared — every handler touches only the slab entries of the node
+// that owns the event, and each node's events run on exactly one wedge, so
+// access is disjoint by index (the race-enabled differential tests pin
+// this). Determinism comes from the partition-stable (at, seq) keys and
+// per-node draw counters in network.go: a P-wedge run is bit-identical to
+// the serial run.
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// parState is the arena-retained scaffolding of the parallel mode: the
+// wedge group (engines, rings, frontiers), the column cut, and one
+// executor per wedge. It is rebuilt only when the topology, wedge count,
+// or delay lower bound changes.
+type parState struct {
+	group *sim.WedgeGroup
+	cut   *grid.WedgeCut
+	execs []executor
+	graph *grid.Graph
+	p     int
+	dMin  sim.Time
+}
+
+// resolveWedges decides the engine for the current run: the number of
+// wedge workers (≥ 2), or 1 for serial. Serial is chosen whenever the
+// caller asked for it (Wedges 0 or 1), the topology has no column
+// structure to cut, or a per-event observer is installed — Trace and
+// OnTrigger promise globally ordered callbacks, which only the serial
+// engine provides.
+func (nw *network) resolveWedges() int {
+	w := nw.cfg.Wedges
+	if w == AutoWedges {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 2 {
+		return 1
+	}
+	if nw.cfg.Trace != nil || nw.cfg.OnTrigger != nil {
+		return 1
+	}
+	_, numCols, ok := nw.g.Columns()
+	if !ok {
+		return 1
+	}
+	if w > numCols {
+		w = numCols
+	}
+	if w < 2 {
+		return 1
+	}
+	return w
+}
+
+// ringCapacityFor sizes a wedge pair's SPSC ring from its boundary-link
+// count: enough slack that a burst of same-window deliveries rarely fills
+// it (a full ring degrades to a kick-and-spin handoff, it never deadlocks
+// or drops).
+func ringCapacityFor(links int) int {
+	c := links * 8
+	if c < 256 {
+		c = 256
+	}
+	if c > 8192 {
+		c = 8192
+	}
+	return c
+}
+
+// setupParallel prepares the wedge group for the current run, reusing the
+// cached scaffolding when the (graph, wedge count, lookahead) triple is
+// unchanged.
+func (nw *network) setupParallel(p int) error {
+	dMin := nw.cfg.Params.Bounds.Min
+	if nw.par == nil || nw.par.graph != nw.g || nw.par.p != p || nw.par.dMin != dMin {
+		cut, err := grid.CutWedges(nw.g, p)
+		if err != nil {
+			return fmt.Errorf("core: wedge cut failed: %w", err)
+		}
+		group := sim.NewWedgeGroup(p, dMin)
+		for _, pr := range cut.Pairs {
+			group.Connect(pr.Src, pr.Dst, ringCapacityFor(pr.Links))
+		}
+		st := &parState{group: group, cut: cut, graph: nw.g, p: p, dMin: dMin}
+		st.execs = make([]executor, p)
+		for i := range st.execs {
+			w := group.Wedge(i)
+			st.execs[i] = executor{nw: nw, eng: w.Engine(), wedge: w, wedgeOf: cut.WedgeOf}
+		}
+		nw.par = st
+	} else {
+		nw.par.group.Reset()
+	}
+	st := nw.par
+	for i := 0; i < p; i++ {
+		eng := st.group.Wedge(i).Engine()
+		eng.SetHorizonHint(nw.cfg.Params.MaxEventDelta())
+		eng.SetDispatcher(&st.execs[i])
+		eng.SetBatching(!noBatchDispatch)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// sameResult reports whether two Results are bit-identical and fails the
+// test with the first divergence otherwise. Events and Horizon are part of
+// the comparison: the parallel engine must not only trigger every node at
+// the same times, it must execute exactly the same event set.
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Horizon != b.Horizon {
+		t.Fatalf("%s: horizon %v vs %v", label, a.Horizon, b.Horizon)
+	}
+	if a.Events != b.Events {
+		t.Fatalf("%s: events %d vs %d", label, a.Events, b.Events)
+	}
+	if len(a.Triggers) != len(b.Triggers) {
+		t.Fatalf("%s: node counts %d vs %d", label, len(a.Triggers), len(b.Triggers))
+	}
+	for n := range a.Triggers {
+		if len(a.Triggers[n]) != len(b.Triggers[n]) {
+			t.Fatalf("%s: node %d triggered %d vs %d times",
+				label, n, len(a.Triggers[n]), len(b.Triggers[n]))
+		}
+		for i := range a.Triggers[n] {
+			if a.Triggers[n][i] != b.Triggers[n][i] {
+				t.Fatalf("%s: node %d trigger %d: %v vs %v",
+					label, n, i, a.Triggers[n][i], b.Triggers[n][i])
+			}
+		}
+	}
+}
+
+// parallelCase is one randomized configuration of the serial-vs-wedge
+// differential: the fields cover both topologies, faults of both kinds,
+// random layer-0 offsets, random initial states, and multi-pulse
+// schedules, i.e. every code path that draws randomness or crosses wedge
+// boundaries.
+type parallelCase struct {
+	L, W    int
+	seed    uint64
+	hexPlus bool
+	faults  int
+	behav   fault.Behavior
+	random  bool
+	pulses  int
+}
+
+func (c parallelCase) run(t *testing.T, wedges int) *Result {
+	t.Helper()
+	h := grid.MustHex(c.L, c.W)
+	if c.hexPlus {
+		h = grid.MustHexPlus(c.L, c.W)
+	}
+	plan := fault.NewPlan(h.NumNodes())
+	if c.faults > 0 {
+		rngF := sim.NewRNG(sim.DeriveSeed(c.seed, "faults"))
+		placed, err := fault.PlaceRandom(h.Graph, c.faults, nil, rngF, 0)
+		if err != nil {
+			t.Skipf("infeasible fault count %d on %dx%d", c.faults, c.L, c.W)
+		}
+		for _, n := range placed {
+			plan.SetBehavior(n, c.behav)
+		}
+		if c.behav == fault.Byzantine {
+			plan.RandomizeByzantine(h.Graph, rngF)
+		}
+	}
+	b := delay.Paper
+	sched := source.SinglePulse(source.Offsets(source.UniformDPlus, h.W, b,
+		sim.NewRNG(sim.DeriveSeed(c.seed, "offsets"))))
+	if c.pulses > 1 {
+		sched = source.NewSchedule(source.UniformDPlus, h.W, c.pulses, b, 0,
+			sim.NewRNG(sim.DeriveSeed(c.seed, "offsets")))
+	}
+	res, err := Run(Config{
+		Graph:      h.Graph,
+		Params:     DefaultParams(),
+		Delay:      delay.Uniform{Bounds: b},
+		Faults:     plan,
+		Schedule:   sched,
+		RandomInit: c.random,
+		Seed:       c.seed,
+		Wedges:     wedges,
+	})
+	if err != nil {
+		t.Fatalf("wedges=%d: %v", wedges, err)
+	}
+	return res
+}
+
+// TestParallelMatchesSerial pins the tentpole guarantee: for every wedge
+// count P the parallel engine produces a Result bit-identical to the
+// serial engine's, across randomized grids, topologies, fault plans,
+// initial states, and schedules.
+func TestParallelMatchesSerial(t *testing.T) {
+	cases := []parallelCase{
+		{L: 15, W: 8, seed: 1},
+		{L: 20, W: 12, seed: 7, faults: 2, behav: fault.Byzantine},
+		{L: 12, W: 9, seed: 11, faults: 2, behav: fault.FailSilent},
+		{L: 18, W: 10, seed: 13, hexPlus: true},
+		{L: 16, W: 9, seed: 17, hexPlus: true, faults: 3, behav: fault.Byzantine},
+		{L: 10, W: 8, seed: 19, random: true},
+		{L: 14, W: 8, seed: 23, pulses: 3},
+		{L: 8, W: 3, seed: 29}, // minimal width: every wedge cut is degenerate
+		{L: 25, W: 20, seed: 31, faults: 4, behav: fault.Byzantine, random: true, pulses: 2},
+	}
+	for _, c := range cases {
+		c := c
+		name := fmt.Sprintf("L%d_W%d_s%d_f%d_plus%t_rand%t_p%d",
+			c.L, c.W, c.seed, c.faults, c.hexPlus, c.random, c.pulses)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serial := c.run(t, 1)
+			for _, p := range []int{2, 3, 8} {
+				sameResult(t, fmt.Sprintf("P=%d", p), serial, c.run(t, p))
+			}
+		})
+	}
+}
+
+// TestParallelAutoAndOversized covers the resolution edges: AutoWedges,
+// and a wedge count exceeding the column count (clamped to W).
+func TestParallelAutoAndOversized(t *testing.T) {
+	c := parallelCase{L: 12, W: 6, seed: 5}
+	serial := c.run(t, 1)
+	sameResult(t, "auto", serial, c.run(t, AutoWedges))
+	sameResult(t, "P>W", serial, c.run(t, 64))
+}
+
+// TestParallelObserverFallback pins the documented silent fallback: an
+// installed Trace or OnTrigger observer forces the serial engine even
+// when Wedges asks for parallelism, and the observers fire normally.
+func TestParallelObserverFallback(t *testing.T) {
+	h := grid.MustHex(8, 6)
+	fired := 0
+	res := runPulse(t, h, func(c *Config) {
+		c.Wedges = 4
+		c.OnTrigger = func(int, sim.Time) { fired++ }
+	})
+	if fired == 0 {
+		t.Fatal("OnTrigger never fired under Wedges fallback")
+	}
+	sameResult(t, "fallback", runPulse(t, h, nil), res)
+}
+
+// fuzzArm runs one fuzz configuration on one engine arm. heap selects the
+// forced 4-ary-heap serial arm; wedges > 1 selects the parallel arm.
+func fuzzArm(t *testing.T, c parallelCase, heap bool, wedges int) *Result {
+	t.Helper()
+	if heap {
+		forceHeapQueue = true
+		defer func() { forceHeapQueue = false }()
+	}
+	return c.run(t, wedges)
+}
+
+// FuzzParallelDifferential is the three-way engine differential: the
+// serial calendar queue, the serial 4-ary heap (forceHeapQueue), and the
+// P-wedge parallel engine for P ∈ {2, 3, 8} must produce bit-identical
+// Results on arbitrary configurations. Any divergence is either an event
+// ordering bug (calendar vs heap) or a frontier-protocol / partition
+// bug (serial vs parallel).
+func FuzzParallelDifferential(f *testing.F) {
+	f.Add(uint64(1), uint(15), uint(8), uint(0), false, false, uint(1))
+	f.Add(uint64(7), uint(20), uint(12), uint(2), false, false, uint(1))
+	f.Add(uint64(13), uint(18), uint(10), uint(0), true, false, uint(1))
+	f.Add(uint64(19), uint(10), uint(8), uint(0), false, true, uint(1))
+	f.Add(uint64(23), uint(14), uint(8), uint(0), false, false, uint(3))
+	f.Add(uint64(31), uint(25), uint(20), uint(4), true, true, uint(2))
+	f.Add(uint64(29), uint(8), uint(3), uint(0), false, false, uint(1))
+	f.Fuzz(func(t *testing.T, seed uint64, l, w, faults uint, hexPlus, random bool, pulses uint) {
+		c := parallelCase{
+			L:      int(l%40) + 2,
+			W:      int(w%24) + 3,
+			seed:   seed,
+			faults: int(faults % 5),
+			behav:  fault.Byzantine,
+			random: random, hexPlus: hexPlus,
+			pulses: int(pulses%3) + 1,
+		}
+		if seed%2 == 1 {
+			c.behav = fault.FailSilent
+		}
+		serial := fuzzArm(t, c, false, 1)
+		sameResult(t, "heap", serial, fuzzArm(t, c, true, 1))
+		for _, p := range []int{2, 3, 8} {
+			sameResult(t, fmt.Sprintf("P=%d", p), serial, fuzzArm(t, c, false, p))
+		}
+	})
+}

@@ -207,6 +207,7 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*coalesce.Value
 		Faults:   plan,
 		Schedule: source.SinglePulse(offsets),
 		Seed:     r.Seed,
+		Wedges:   s.opts.Wedges,
 		Context:  ctx,
 		Trace:    flightTracer(fr),
 	})
@@ -353,24 +354,29 @@ func (s *Service) computeSpec(ctx context.Context, r SpecRequest) (*coalesce.Val
 		Runs:      r.Runs,
 		Seed:      r.Seed,
 		HexPlus:   r.HexPlus,
+		Wedges:    s.opts.Wedges,
 	}
 	tr := obs.FromContext(ctx)
 	endSweep := tr.StartSpan("experiment-sweep")
+	start := time.Now()
 	outs, err := experiment.RunManyCtx(ctx, spec)
+	// Wall clock of the whole sweep: RecordThroughput aggregates across
+	// the sweep's worker goroutines (and any wedge workers inside each
+	// run), so hexd_events_per_sec reports process-level throughput rather
+	// than one goroutine's share.
+	wall := time.Since(start)
 	endSweep()
 	s.Metrics.SimRuns.Add(uint64(len(outs)))
 	if err != nil {
 		return nil, err
 	}
 	var events uint64
-	var simTime time.Duration
 	for _, o := range outs {
 		events += o.Res.Events
-		simTime += o.Elapsed
 	}
 	s.Metrics.SimEvents.Add(events)
 	s.Metrics.SimRunEvents.Observe(float64(events))
-	s.Metrics.RecordThroughput(events, simTime)
+	s.Metrics.RecordThroughput(events, wall)
 	endEncode := tr.StartSpan("encode")
 	defer endEncode()
 	intra, inter := experiment.CollectSkews(outs, r.ExcludeHops)

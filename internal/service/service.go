@@ -83,6 +83,13 @@ type Options struct {
 	// /v1/run?trace=1: the recorder retains the last FlightEvents events
 	// of the run (default 4096); negative disables flight recording.
 	FlightEvents int
+	// Wedges selects the wedge-parallel engine for each simulation (see
+	// core.Config.Wedges; core.AutoWedges sizes it from GOMAXPROCS).
+	// Results are bit-identical to serial, so Wedges is deliberately NOT
+	// part of any canonical cache key. Default 0 keeps the serial engine:
+	// sweeps already saturate cores across runs, so per-run wedges pay off
+	// mainly on large single /v1/run grids.
+	Wedges int
 }
 
 // withDefaults fills unset fields.

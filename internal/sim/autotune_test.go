@@ -1,0 +1,125 @@
+package sim
+
+import "testing"
+
+// nullDispatcher satisfies Dispatcher for tests that only exercise the
+// queue, not the model.
+type nullDispatcher struct{}
+
+func (nullDispatcher) Dispatch(uint8, int64, int64) {}
+
+// feedDeltas schedules and drains events whose push deltas all equal d,
+// enough times that the sampled histogram passes deltaTuneMinSamples.
+func feedDeltas(e *Engine, d Time, n int) {
+	for i := 0; i < n; i++ {
+		e.ScheduleEvent(e.Now()+d, 0, 0, 0)
+		e.RunAll()
+	}
+}
+
+// TestAutoTuneNarrowRegime: a workload whose observed deltas are far
+// narrower than the declared horizon hint must get proportionally finer
+// buckets than the hint alone would select.
+func TestAutoTuneNarrowRegime(t *testing.T) {
+	e := NewEngine()
+	e.SetDispatcher(nullDispatcher{})
+	e.SetHorizonHint(1 << 30) // worst-case declaration: coarse buckets
+	hintShift := e.queue.shift
+
+	feedDeltas(e, 100, 2*deltaTuneMinSamples*(deltaSampleMask+1)) // actual deltas ≈ 2^7
+	e.Reset()
+	e.SetHorizonHint(1 << 30)
+	if e.queue.shift >= hintShift {
+		t.Fatalf("narrow workload not tuned: shift %d, hint shift %d",
+			e.queue.shift, hintShift)
+	}
+	// 2^7-wide deltas over 256 buckets want the minimum shift.
+	if want := shiftForDelta(1 << 7); e.queue.shift != want {
+		t.Fatalf("tuned shift = %d, want %d", e.queue.shift, want)
+	}
+}
+
+// TestAutoTuneWideRegimeKeepsHint: tuning only ever narrows the buckets.
+// When the observed deltas are wider than the hint (the hint was too
+// optimistic), the hint's shift is kept: the overflow heap already
+// handles far events, and widening would coarsen the common case.
+func TestAutoTuneWideRegimeKeepsHint(t *testing.T) {
+	e := NewEngine()
+	e.SetDispatcher(nullDispatcher{})
+	e.SetHorizonHint(1 << 10)
+	hintShift := e.queue.shift
+
+	feedDeltas(e, 1<<24, 2*deltaTuneMinSamples*(deltaSampleMask+1))
+	e.Reset()
+	e.SetHorizonHint(1 << 10)
+	if e.queue.shift != hintShift {
+		t.Fatalf("wide workload changed shift: %d, want hint %d",
+			e.queue.shift, hintShift)
+	}
+}
+
+// TestAutoTuneNeedsSamples: below deltaTuneMinSamples observed deltas the
+// hint is used unmodified — a handful of samples is not a distribution.
+func TestAutoTuneNeedsSamples(t *testing.T) {
+	e := NewEngine()
+	e.SetDispatcher(nullDispatcher{})
+	e.SetHorizonHint(1 << 30)
+	hintShift := e.queue.shift
+
+	feedDeltas(e, 100, int(deltaTuneMinSamples/2)*(deltaSampleMask+1)/2)
+	e.Reset()
+	e.SetHorizonHint(1 << 30)
+	if e.queue.shift != hintShift {
+		t.Fatalf("undersampled engine tuned anyway: shift %d, hint %d",
+			e.queue.shift, hintShift)
+	}
+}
+
+// TestAutoTuneTailOutliersIgnored: a tight-delta workload with a rare far
+// outlier (the sleep-timer pattern) must still tune to the tight mode,
+// leaving the outlier to the overflow heap. The outlier is planted at a
+// deliberately sampled push index (sampling takes every 16th push) so the
+// test exercises the percentile cut, not the sampling phase.
+func TestAutoTuneTailOutliersIgnored(t *testing.T) {
+	e := NewEngine()
+	e.SetDispatcher(nullDispatcher{})
+	e.SetHorizonHint(1 << 30)
+
+	n := 200 * (deltaSampleMask + 1) // 200 samples: 1 outlier is under the p99 cut
+	for i := 0; i < n; i++ {
+		d := Time(200) // ≈ 2^8
+		if i == deltaSampleMask {
+			d = 1 << 28 // exactly one sampled outlier
+		}
+		e.ScheduleEvent(e.Now()+d, 0, 0, 0)
+		e.RunAll()
+	}
+	e.Reset()
+	e.SetHorizonHint(1 << 30)
+	if want := shiftForDelta(1 << 8); e.queue.shift != want {
+		t.Fatalf("outlier-polluted tuning: shift %d, want %d", e.queue.shift, want)
+	}
+}
+
+// TestAutoTuneConsumedOnce: SetHorizonHint clears the histogram, so a
+// second hint without intervening traffic falls back to the hint shift.
+func TestAutoTuneConsumedOnce(t *testing.T) {
+	e := NewEngine()
+	e.SetDispatcher(nullDispatcher{})
+	e.SetHorizonHint(1 << 30)
+	hintShift := e.queue.shift
+
+	feedDeltas(e, 100, 2*deltaTuneMinSamples*(deltaSampleMask+1))
+	e.Reset()
+	e.SetHorizonHint(1 << 30)
+	tuned := e.queue.shift
+	if tuned == hintShift {
+		t.Fatal("first hint did not tune; the test would be vacuous")
+	}
+	e.Reset()
+	e.SetHorizonHint(1 << 30)
+	if e.queue.shift != hintShift {
+		t.Fatalf("second hint reused consumed samples: shift %d (tuned was %d), want %d",
+			e.queue.shift, tuned, hintShift)
+	}
+}

@@ -100,6 +100,7 @@ type calendarQueue struct {
 	shift    uint  // log2 bucket width in picoseconds; 0 means "unset"
 	cursor   int64 // bucket-time index the window starts at
 	ringLen  int   // live events in the ring
+	heapOnly bool  // bypass the ring: all events through the overflow heap
 	buckets  [calBuckets]calBucket
 	overflow eventQueue // far-future tier; also the fuzz reference impl
 	spill    []event    // scratch for pushSlow window rebuilds
@@ -111,16 +112,29 @@ func (q *calendarQueue) Len() int { return q.ringLen + q.overflow.Len() }
 // bucketOf maps an instant to its bucket-time index.
 func (q *calendarQueue) bucketOf(at Time) int64 { return int64(at) >> q.shift }
 
+// shiftForDelta returns the smallest log2 bucket width whose ring window
+// spans at least 2*delta, so events within delta of now are always
+// bucket-resident.
+func shiftForDelta(delta Time) uint {
+	shift := uint(1)
+	for (int64(calBuckets) << shift) < 2*int64(delta) {
+		shift++
+	}
+	return shift
+}
+
 // setHorizon sizes the ring so that events within delta of now are always
 // bucket-resident: the window spans at least 2*delta. It must be called on
 // an empty queue (sizing is per run; Engine.Reset keeps it).
 func (q *calendarQueue) setHorizon(delta Time) {
+	q.setShift(shiftForDelta(delta))
+}
+
+// setShift installs a log2 bucket width directly. It must be called on an
+// empty queue.
+func (q *calendarQueue) setShift(shift uint) {
 	if q.Len() != 0 {
 		panic("sim: horizon hint on a non-empty queue")
-	}
-	shift := uint(1)
-	for (int64(calBuckets) << shift) < 2*int64(delta) {
-		shift++
 	}
 	q.shift = shift
 	q.cursor = 0
@@ -128,6 +142,10 @@ func (q *calendarQueue) setHorizon(delta Time) {
 
 // push inserts e into the ring or, beyond the window, the overflow heap.
 func (q *calendarQueue) push(e event) {
+	if q.heapOnly {
+		q.overflow.push(e)
+		return
+	}
 	if q.shift == 0 {
 		q.shift = defaultCalShift
 	}
@@ -151,6 +169,14 @@ func (q *calendarQueue) push(e event) {
 // queue is refilled after draining or after a horizon-limited Run, so the
 // O(ring) rebuild is off the hot path.
 func (q *calendarQueue) pushSlow(e event, b int64) {
+	if q.ringLen == 0 {
+		// Nothing to respill: just restart the window at the new event. Any
+		// overflow events whose buckets precede cursor+calBuckets migrate in
+		// lazily on the next settle, exactly as after a window jump.
+		q.cursor = b
+		q.place(e)
+		return
+	}
 	q.spill = q.spill[:0]
 	for i := range q.buckets {
 		bk := &q.buckets[i]
@@ -217,6 +243,9 @@ func (q *calendarQueue) settle() *calBucket {
 
 // peekTime returns the time of the earliest event without removing it.
 func (q *calendarQueue) peekTime() Time {
+	if q.heapOnly {
+		return q.overflow.peekTime()
+	}
 	bk := q.settle()
 	return bk.items[bk.head].at
 }
@@ -224,6 +253,9 @@ func (q *calendarQueue) peekTime() Time {
 // pop removes and returns the earliest event. It panics on an empty queue;
 // callers must check Len first.
 func (q *calendarQueue) pop() event {
+	if q.heapOnly {
+		return q.overflow.pop()
+	}
 	bk := q.settle()
 	e := bk.items[bk.head]
 	bk.items[bk.head] = event{}
@@ -242,6 +274,12 @@ func (q *calendarQueue) pop() event {
 // shared timestamp; an empty batch (timestamp of a closure event) leaves
 // the queue untouched.
 func (q *calendarQueue) popBatchTyped(dst []EventRec, max int) ([]EventRec, Time) {
+	if q.heapOnly {
+		// No contiguous sorted runs to scan in the heap: return an empty
+		// batch so the engine falls back to one pop per event, keeping the
+		// heap arm's dispatch path genuinely heap-shaped.
+		return dst, q.overflow.peekTime()
+	}
 	bk := q.settle()
 	at := bk.items[bk.head].at
 	i := bk.head

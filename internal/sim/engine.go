@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Dispatcher handles typed events scheduled with ScheduleEvent. Using
 // integer payloads instead of closures removes one heap allocation per
@@ -52,6 +55,15 @@ type Engine struct {
 	stopEvery  uint64
 	// Executed counts events processed, for instrumentation and benchmarks.
 	Executed uint64
+
+	// Push-delta sampling for calendar bucket auto-tuning: every
+	// deltaSampleMask-th push records log2(at-now) into deltaHist. The
+	// histogram survives Reset and is consumed (and cleared) by the next
+	// SetHorizonHint, so an arena-reused engine sizes its buckets from the
+	// previous run's observed event-delta distribution. See tuneShift.
+	deltaHist  [deltaHistBuckets]uint32
+	deltaCount uint32
+	deltaTick  uint32
 }
 
 // NewEngine returns an engine with the clock at time 0.
@@ -132,11 +144,75 @@ func (e *Engine) SetBatching(on bool) {
 // are pending, typically right after Reset; the hint has no observable
 // effect on execution order, only on queue cost. delta <= 0 selects the
 // default sizing.
+//
+// The hint is an upper bound derived from worst-case parameters; when the
+// engine has observed actual push deltas (a previous run on a reused engine
+// sampled them, see sampleDelta), the bucket width is auto-tuned down to the
+// p99 of the observed distribution instead, so a workload whose deltas are
+// much narrower than the declared bound gets proportionally finer buckets.
+// The percentile cut leaves only true outliers (rare sleep timers, schedule
+// gaps) to the overflow heap, which is built for exactly those.
 func (e *Engine) SetHorizonHint(delta Time) {
 	if delta <= 0 {
 		delta = Time(int64(calBuckets) << (defaultCalShift - 1))
 	}
-	e.queue.setHorizon(delta)
+	shift := shiftForDelta(delta)
+	if tuned, ok := e.consumeTunedShift(); ok && tuned < shift {
+		shift = tuned
+	}
+	e.queue.setShift(shift)
+}
+
+// Delta-histogram sampling parameters: every 16th push is measured into a
+// log2 histogram; tuning activates only once enough samples exist to make
+// the percentile meaningful.
+const (
+	deltaHistBuckets    = 48 // log2 buckets: deltas up to ~2^47 ps (≈ 1.6 days)
+	deltaSampleMask     = 15 // sample 1 push in 16
+	deltaTuneMinSamples = 64
+)
+
+// sampleDelta records the scheduling distance of (a sampled subset of)
+// pushes. It is kept deliberately cheap — a counter increment and a masked
+// branch on the fast path — because it runs on every ScheduleEvent.
+func (e *Engine) sampleDelta(at Time) {
+	e.deltaTick++
+	if e.deltaTick&deltaSampleMask != 0 {
+		return
+	}
+	b := bits.Len64(uint64(at - e.now))
+	if b >= deltaHistBuckets {
+		b = deltaHistBuckets - 1
+	}
+	e.deltaHist[b]++
+	e.deltaCount++
+}
+
+// consumeTunedShift derives a calendar bucket shift from the sampled push
+// deltas and clears the histogram. It reports false while fewer than
+// deltaTuneMinSamples deltas have been observed.
+func (e *Engine) consumeTunedShift() (uint, bool) {
+	if e.deltaCount < deltaTuneMinSamples {
+		return 0, false
+	}
+	// p99 of the log2 histogram: the smallest bucket whose cumulative count
+	// covers 99% of the samples. Bucket b holds deltas < 2^b. An earlier cut
+	// at p85 looked attractive (finer buckets) but benchmarked slower: the
+	// 15% tail went through the overflow heap, whose migrate-back churn on
+	// window advance costs far more than coarser buckets do.
+	target := (uint64(e.deltaCount)*99 + 99) / 100
+	var cum uint64
+	b := 0
+	for ; b < deltaHistBuckets; b++ {
+		cum += uint64(e.deltaHist[b])
+		if cum >= target {
+			break
+		}
+	}
+	e.deltaHist = [deltaHistBuckets]uint32{}
+	e.deltaCount = 0
+	e.deltaTick = 0
+	return shiftForDelta(Time(1) << uint(b)), true
 }
 
 // ScheduleEvent schedules a typed event for the engine's Dispatcher at the
@@ -149,8 +225,48 @@ func (e *Engine) ScheduleEvent(at Time, kind uint8, a, b int64) {
 	if e.dispatcher == nil {
 		panic("sim: ScheduleEvent without a Dispatcher")
 	}
+	e.sampleDelta(at)
 	e.queue.push(event{at: at, seq: e.seq, kind: kind, a: a, b: b})
 	e.seq++
+}
+
+// ScheduleEventKeyed schedules a typed event under a caller-supplied
+// sequence key instead of the engine's internal counter. The caller owns
+// uniqueness: within one run, no two events (keyed or not) may share an
+// (at, seq) pair, and keyed scheduling must not be mixed with the
+// auto-keyed ScheduleEvent/Schedule calls unless the caller guarantees the
+// key spaces are disjoint. Execution order is ascending (at, seq) exactly
+// as for auto-keyed events; partition-stable keys are what lets the
+// wedge-parallel engine merge cross-wedge events into the serial order.
+func (e *Engine) ScheduleEventKeyed(at Time, seq uint64, kind uint8, a, b int64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if e.dispatcher == nil {
+		panic("sim: ScheduleEventKeyed without a Dispatcher")
+	}
+	e.sampleDelta(at)
+	e.queue.push(event{at: at, seq: seq, kind: kind, a: a, b: b})
+}
+
+// NextEventTime returns the time of the earliest pending event, if any.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if e.queue.Len() == 0 {
+		return 0, false
+	}
+	return e.queue.peekTime(), true
+}
+
+// UseHeapQueue forces every event through the 4-ary overflow heap instead
+// of the calendar ring. Pop order is identical (both realize the same total
+// (at, seq) order); the knob exists so differential tests can run a
+// structurally different queue as an independent arm. It may only be
+// toggled while no events are pending.
+func (e *Engine) UseHeapQueue(on bool) {
+	if e.queue.Len() != 0 {
+		panic("sim: UseHeapQueue on a non-empty queue")
+	}
+	e.queue.heapOnly = on
 }
 
 // ScheduleEventAfter is ScheduleEvent relative to Now.

@@ -119,6 +119,21 @@ func (r *RNG) Perm(n int) []int {
 // advances by one output, so repeated Splits yield independent children.
 func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
 
+// DeriveStream deterministically derives a per-(node, counter) seed from a
+// base seed. It is the bridge between a logically-shared random stream and
+// partitioned execution: when every draw site reseeds a scratch RNG with
+// DeriveStream(base, node, ctr) — ctr being a per-node draw counter — the
+// values a node observes depend only on its own history, never on the
+// global interleaving of nodes. That is what lets the wedge-parallel engine
+// reproduce the serial engine's draws bit-for-bit regardless of partition
+// count. Two rounds of splitmix64 fully decorrelate adjacent (node, ctr)
+// pairs.
+func DeriveStream(base, node, ctr uint64) uint64 {
+	x := base + node
+	y := splitmix64(&x) + ctr
+	return splitmix64(&y)
+}
+
 // DeriveSeed deterministically combines a base seed with string labels to
 // produce an independent sub-seed. It is used so that, e.g., fault placement
 // and delay draws come from unrelated streams: changing one experiment knob

@@ -1,0 +1,74 @@
+package sim
+
+import "sync/atomic"
+
+// BoundaryEvent is one typed event crossing a wedge boundary in the
+// parallel engine. It carries the caller-assigned (At, Seq) key so the
+// receiving wedge's queue merges it into exactly the position the serial
+// engine would have dispatched it from.
+type BoundaryEvent struct {
+	At   Time
+	Seq  uint64
+	Kind uint8
+	A, B int64
+}
+
+// spscRing is a bounded single-producer single-consumer ring buffer for
+// boundary events. Exactly one goroutine may push and exactly one may pop.
+//
+// head and tail are monotone position counters (masked on access), each on
+// its own cache line so the producer's tail stores and the consumer's head
+// stores don't false-share. Go's atomic operations are sequentially
+// consistent, which gives the publication guarantee the wedge protocol
+// needs: a producer's buffer write happens before its tail store, so a
+// consumer that loads that tail value reads the completed event — and,
+// transitively, a consumer that observes a producer's frontier store also
+// observes every ring push sequenced before it.
+type spscRing struct {
+	buf  []BoundaryEvent
+	mask uint64
+	_    [64]byte
+	head atomic.Uint64 // next position to pop; owned by the consumer
+	_    [64]byte
+	tail atomic.Uint64 // next position to push; owned by the producer
+	_    [64]byte
+}
+
+// newSPSCRing returns a ring holding up to capacity events; capacity is
+// rounded up to a power of two.
+func newSPSCRing(capacity int) *spscRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{buf: make([]BoundaryEvent, n), mask: uint64(n - 1)}
+}
+
+// tryPush appends ev, reporting false if the ring is full. Producer-only.
+func (r *spscRing) tryPush(ev BoundaryEvent) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = ev
+	r.tail.Store(t + 1)
+	return true
+}
+
+// tryPop removes the oldest event, reporting false if the ring is empty.
+// Consumer-only.
+func (r *spscRing) tryPop() (BoundaryEvent, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return BoundaryEvent{}, false
+	}
+	ev := r.buf[h&r.mask]
+	r.head.Store(h + 1)
+	return ev, true
+}
+
+// clear discards any pending events. Only safe when no producer is
+// running; used by WedgeGroup.Reset after an aborted run.
+func (r *spscRing) clear() {
+	r.head.Store(r.tail.Load())
+}

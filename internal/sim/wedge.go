@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Conservative wedge-parallel engine mode.
+//
+// A WedgeGroup runs P Engines — one per wedge of a partitioned model — as
+// concurrent workers under a classic conservative (Chandy–Misra–Bryant
+// style) bounded window, with the model's per-link minimum delay d− as
+// lookahead:
+//
+//   - Each wedge w publishes a frontier C_w: "I have executed every local
+//     event with time ≤ C_w, and every cross-wedge send produced by those
+//     executions has been pushed to its ring." Frontiers start at −1 and
+//     only grow.
+//   - Cross-wedge deliveries travel through bounded SPSC rings, one per
+//     (producer, consumer) wedge pair that shares at least one boundary
+//     link. Every delivery crossing a boundary has delay ≥ d−, so a send
+//     made by w after publishing C_w (i.e. from executing some event at
+//     t > C_w) arrives at t + d ≥ t + d− > C_w + d−.
+//   - Therefore wedge w may safely execute up to
+//     bound_w = min over in-neighbors q of (C_q + d−), capped at the run
+//     horizon: any delivery not yet visible in w's rings is strictly later
+//     than bound_w. Executing [.., bound_w] then publishing C_w = bound_w
+//     never creates a past event — the engine's own past-event panic stays
+//     live as the runtime assertion of exactly this invariant.
+//
+// Determinism: every event carries a caller-assigned, partition-stable
+// (at, seq) key (see Engine.ScheduleEventKeyed), and each wedge's queue
+// realizes the ascending (at, seq) order, so per-node dispatch order is
+// identical to the serial engine regardless of P or thread interleaving.
+//
+// Liveness: the wedge holding the globally minimal frontier has
+// bound = C_min + d− > C_min ≥ its own frontier, so it can always advance
+// and, after publishing, kicks its out-neighbors; by induction every
+// frontier reaches the horizon. Two blocking states exist and both are
+// kick-covered: a worker waiting on its wake channel is kicked after any
+// in-neighbor frontier publish, and a producer spinning on a full ring
+// kicks the consumer (which drains at the top of its loop) while draining
+// its own inbound rings so no cycle of full rings can wedge.
+//
+// Termination: sends that would land beyond the horizon are dropped at the
+// producer — observably identical to the serial engine, which leaves such
+// events unexecuted in its queue. Once bound_w reaches the horizon every
+// in-neighbor frontier is ≥ horizon − d−, so all future sends toward w are
+// beyond the horizon and dropped; w drains, runs to the horizon, publishes,
+// and exits without waiting for anyone.
+type WedgeGroup struct {
+	dMin    Time
+	horizon Time
+	wedges  []Wedge
+
+	abortCh   chan struct{}
+	aborted   atomic.Bool
+	abortOnce sync.Once
+
+	panicMu  sync.Mutex
+	panicVal any
+
+	interrupted atomic.Bool
+}
+
+// Wedge is one worker's slice of the model: a private Engine plus the
+// frontier and rings tying it to its neighbors.
+type Wedge struct {
+	eng   Engine
+	idx   int
+	group *WedgeGroup
+
+	frontier atomic.Int64
+	wake     chan struct{} // cap 1; kicked by in-neighbor publishes
+
+	in  []wedgeLink // rings this wedge consumes, one per in-neighbor
+	out []wedgeLink // rings this wedge produces into, one per out-neighbor
+}
+
+// wedgeLink is one directed ring between two wedges, as seen from either
+// endpoint.
+type wedgeLink struct {
+	ring *spscRing
+	peer int
+}
+
+// NewWedgeGroup creates n wedges with disconnected engines. dMin is the
+// model's minimum cross-wedge delivery delay (the lookahead); it must be
+// positive, which delay.Bounds.Validate guarantees for every model in this
+// repository.
+func NewWedgeGroup(n int, dMin Time) *WedgeGroup {
+	if n < 2 {
+		panic("sim: WedgeGroup needs at least 2 wedges")
+	}
+	if dMin <= 0 {
+		panic("sim: WedgeGroup needs a positive delay lower bound")
+	}
+	g := &WedgeGroup{dMin: dMin, wedges: make([]Wedge, n)}
+	for i := range g.wedges {
+		w := &g.wedges[i]
+		w.idx = i
+		w.group = g
+		w.wake = make(chan struct{}, 1)
+		w.frontier.Store(-1)
+	}
+	return g
+}
+
+// Size returns the number of wedges.
+func (g *WedgeGroup) Size() int { return len(g.wedges) }
+
+// Wedge returns wedge i.
+func (g *WedgeGroup) Wedge(i int) *Wedge { return &g.wedges[i] }
+
+// DMin returns the group's lookahead (minimum cross-wedge delay).
+func (g *WedgeGroup) DMin() Time { return g.dMin }
+
+// Connect creates the src→dst ring with room for capacity in-flight
+// boundary events. Call once per directed wedge pair that shares at least
+// one cross-wedge link, before Run.
+func (g *WedgeGroup) Connect(src, dst, capacity int) {
+	r := newSPSCRing(capacity)
+	g.wedges[src].out = append(g.wedges[src].out, wedgeLink{ring: r, peer: dst})
+	g.wedges[dst].in = append(g.wedges[dst].in, wedgeLink{ring: r, peer: src})
+}
+
+// Engine returns the wedge's private engine, for dispatcher installation
+// and build-time event scheduling (single-threaded, before Run).
+func (w *Wedge) Engine() *Engine { return &w.eng }
+
+// Index returns the wedge's position in its group.
+func (w *Wedge) Index() int { return w.idx }
+
+// Send routes a boundary event to wedge dst. It may only be called from
+// within this wedge's event handlers during Run (build-time setup must
+// schedule into the owning wedge's engine directly instead). Events beyond
+// the run horizon are dropped — the serial engine would never execute them
+// either. If the ring is full, Send kicks
+// the consumer and drains its own inbound rings while spinning, so rings
+// can never form a cycle of blocked producers.
+func (w *Wedge) Send(dst int, ev BoundaryEvent) {
+	g := w.group
+	if ev.At > g.horizon {
+		return
+	}
+	if ev.At < w.eng.Now()+g.dMin {
+		panic(fmt.Sprintf(
+			"sim: cross-wedge delivery at %v violates lookahead (now %v + dMin %v); delay model broke its declared minimum",
+			ev.At, w.eng.Now(), g.dMin))
+	}
+	var link *wedgeLink
+	for i := range w.out {
+		if w.out[i].peer == dst {
+			link = &w.out[i]
+			break
+		}
+	}
+	if link == nil {
+		panic(fmt.Sprintf("sim: no ring from wedge %d to wedge %d", w.idx, dst))
+	}
+	for !link.ring.tryPush(ev) {
+		if g.aborted.Load() {
+			return // run is being discarded; dropping is fine
+		}
+		g.wedges[dst].kick()
+		w.drain() // keep our own producers unblocked
+		runtime.Gosched()
+	}
+}
+
+// kick wakes the wedge's worker if it is (or is about to start) waiting.
+func (w *Wedge) kick() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drain moves every visible boundary event from the inbound rings into the
+// wedge's queue. All such events are strictly later than the wedge's
+// current execution point (see the protocol comment), so scheduling them —
+// even mid-Run, from inside Send's spin — can never create a past event.
+func (w *Wedge) drain() {
+	for i := range w.in {
+		r := w.in[i].ring
+		for {
+			ev, ok := r.tryPop()
+			if !ok {
+				break
+			}
+			w.eng.ScheduleEventKeyed(ev.At, ev.Seq, ev.Kind, ev.A, ev.B)
+		}
+	}
+}
+
+// computeBound returns the latest time this wedge may currently execute
+// through: min over in-neighbor frontiers + d−, capped at the horizon. A
+// wedge with no in-neighbors is unconstrained.
+func (w *Wedge) computeBound() Time {
+	bound := w.group.horizon
+	for i := range w.in {
+		q := &w.group.wedges[w.in[i].peer]
+		if b := Time(q.frontier.Load()) + w.group.dMin; b < bound {
+			bound = b
+		}
+	}
+	return bound
+}
+
+// run is one worker's loop. It returns the number of events executed.
+func (w *Wedge) run() uint64 {
+	g := w.group
+	var executed uint64
+	lastBound := Time(-1)
+	for {
+		if g.aborted.Load() {
+			return executed
+		}
+		w.drain()
+		bound := w.computeBound()
+		if bound <= lastBound {
+			// No in-neighbor has advanced: nothing below the old bound can
+			// exist and nothing new is executable. Sleep until kicked. The
+			// kick channel is buffered, so a publish racing with this wait
+			// is never lost.
+			select {
+			case <-w.wake:
+			case <-g.abortCh:
+				return executed
+			}
+			continue
+		}
+		// Catch sends flushed before the frontier values we just read:
+		// sequential consistency orders their ring pushes before the
+		// frontier store, so this drain observes them all.
+		w.drain()
+		executed += w.eng.Run(bound)
+		if w.eng.Interrupted() {
+			g.interrupted.Store(true)
+			g.abort()
+			return executed
+		}
+		// Publish only after Run returns: every send from events ≤ bound
+		// is flushed, so the frontier's contract holds when neighbors read
+		// it. Then wake consumers so they recompute their bounds.
+		w.frontier.Store(int64(bound))
+		for i := range w.out {
+			g.wedges[w.out[i].peer].kick()
+		}
+		lastBound = bound
+		if bound >= g.horizon {
+			return executed
+		}
+	}
+}
+
+// abort makes every worker stop at its next loop or spin check.
+func (g *WedgeGroup) abort() {
+	g.abortOnce.Do(func() {
+		g.aborted.Store(true)
+		close(g.abortCh)
+	})
+}
+
+// Run executes all wedges concurrently until every frontier reaches the
+// horizon (events at exactly the horizon still execute, matching
+// Engine.Run). It returns the total number of events executed. If any
+// worker panics, Run re-panics with the first recovered value after all
+// workers have stopped. Interrupted reports whether a per-engine stop
+// check ended the run early instead.
+func (g *WedgeGroup) Run(horizon Time) uint64 {
+	g.horizon = horizon
+	g.abortCh = make(chan struct{})
+	g.aborted.Store(false)
+	g.abortOnce = sync.Once{}
+	g.interrupted.Store(false)
+	g.panicVal = nil
+
+	var wg sync.WaitGroup
+	var total atomic.Uint64
+	for i := range g.wedges {
+		w := &g.wedges[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					g.panicMu.Lock()
+					if g.panicVal == nil {
+						g.panicVal = r
+					}
+					g.panicMu.Unlock()
+					g.abort()
+				}
+			}()
+			total.Add(w.run())
+		}()
+	}
+	wg.Wait()
+	if g.panicVal != nil {
+		panic(g.panicVal)
+	}
+	return total.Load()
+}
+
+// Interrupted reports whether the most recent Run was ended early by a
+// wedge engine's SetStopCheck hook.
+func (g *WedgeGroup) Interrupted() bool { return g.interrupted.Load() }
+
+// Reset returns the group to its pre-Run state — engines reset (keeping
+// their queue arrays and dispatchers), frontiers at −1, rings and wake
+// channels empty — so an arena-pooled group can be reused run to run.
+func (g *WedgeGroup) Reset() {
+	for i := range g.wedges {
+		w := &g.wedges[i]
+		w.eng.Reset()
+		w.frontier.Store(-1)
+		select {
+		case <-w.wake:
+		default:
+		}
+		for j := range w.in {
+			w.in[j].ring.clear()
+		}
+	}
+}

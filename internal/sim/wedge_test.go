@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestSPSCRingOrderAndCapacity(t *testing.T) {
+	r := newSPSCRing(3) // rounds up to 4
+	for i := 0; i < 4; i++ {
+		if !r.tryPush(BoundaryEvent{At: Time(i)}) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if r.tryPush(BoundaryEvent{At: 99}) {
+		t.Fatal("push succeeded on a full ring")
+	}
+	for i := 0; i < 4; i++ {
+		ev, ok := r.tryPop()
+		if !ok || ev.At != Time(i) {
+			t.Fatalf("pop %d = (%v, %t), want (%d, true)", i, ev.At, ok, i)
+		}
+	}
+	if _, ok := r.tryPop(); ok {
+		t.Fatal("pop succeeded on an empty ring")
+	}
+}
+
+func TestSPSCRingConcurrent(t *testing.T) {
+	r := newSPSCRing(16)
+	const n = 100000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if r.tryPush(BoundaryEvent{At: Time(i), Seq: uint64(i)}) {
+				i++
+			} else {
+				runtime.Gosched() // single-CPU boxes: hand the slice to the consumer
+			}
+		}
+	}()
+	for i := 0; i < n; {
+		ev, ok := r.tryPop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if ev.At != Time(i) || ev.Seq != uint64(i) {
+			t.Fatalf("pop %d = (%v, %d): reordered or corrupted", i, ev.At, ev.Seq)
+		}
+		i++
+	}
+	wg.Wait()
+}
+
+func TestSPSCRingClear(t *testing.T) {
+	r := newSPSCRing(4)
+	r.tryPush(BoundaryEvent{At: 1})
+	r.tryPush(BoundaryEvent{At: 2})
+	r.clear()
+	if _, ok := r.tryPop(); ok {
+		t.Fatal("pop succeeded after clear")
+	}
+	if !r.tryPush(BoundaryEvent{At: 3}) {
+		t.Fatal("push failed after clear")
+	}
+}
+
+// relayDispatcher forwards each event one hop around a ring of wedges with
+// a fixed delay, counting dispatches, until the horizon cuts it off.
+type relayDispatcher struct {
+	w     *Wedge
+	next  int
+	delay Time
+	seq   uint64
+	count int
+}
+
+func (d *relayDispatcher) Dispatch(kind uint8, a, b int64) {
+	d.count++
+	d.seq++
+	d.w.Send(d.next, BoundaryEvent{
+		At:   d.w.eng.Now() + d.delay,
+		Seq:  d.seq<<8 | uint64(d.w.idx),
+		Kind: kind, A: a, B: b,
+	})
+}
+
+// TestWedgeGroupRelay runs a 3-wedge directed cycle where every event
+// spawns its successor one delay later in the next wedge: the tightest
+// possible dependence chain, every event a boundary event. The run must
+// terminate at the horizon with exactly horizon/delay + 1 dispatches.
+func TestWedgeGroupRelay(t *testing.T) {
+	const dMin = Time(10)
+	g := NewWedgeGroup(3, dMin)
+	for i := 0; i < 3; i++ {
+		g.Connect(i, (i+1)%3, 8)
+	}
+	ds := make([]*relayDispatcher, 3)
+	for i := 0; i < 3; i++ {
+		ds[i] = &relayDispatcher{w: g.Wedge(i), next: (i + 1) % 3, delay: dMin}
+		g.Wedge(i).Engine().SetDispatcher(ds[i])
+	}
+	g.Wedge(0).Engine().ScheduleEventKeyed(0, 0, 0, 0, 0)
+
+	const horizon = Time(1000)
+	executed := g.Run(horizon)
+	want := uint64(horizon/dMin) + 1 // t = 0, 10, ..., 1000 inclusive
+	if executed != want {
+		t.Fatalf("executed %d events, want %d", executed, want)
+	}
+	total := ds[0].count + ds[1].count + ds[2].count
+	if uint64(total) != want {
+		t.Fatalf("dispatched %d events, want %d", total, want)
+	}
+}
+
+// TestWedgeGroupRepeatedRuns pins Reset: the same group must replay the
+// same workload identically, including after an abandoned (panicking) run
+// left residue in rings and wake channels.
+func TestWedgeGroupRepeatedRuns(t *testing.T) {
+	const dMin = Time(7)
+	g := NewWedgeGroup(2, dMin)
+	g.Connect(0, 1, 4)
+	g.Connect(1, 0, 4)
+	run := func() uint64 {
+		ds := []*relayDispatcher{
+			{w: g.Wedge(0), next: 1, delay: dMin},
+			{w: g.Wedge(1), next: 0, delay: dMin},
+		}
+		g.Wedge(0).Engine().SetDispatcher(ds[0])
+		g.Wedge(1).Engine().SetDispatcher(ds[1])
+		g.Wedge(0).Engine().ScheduleEventKeyed(0, 0, 0, 0, 0)
+		return g.Run(700)
+	}
+	first := run()
+	g.Reset()
+	if second := run(); second != first {
+		t.Fatalf("rerun executed %d events, first run %d", second, first)
+	}
+}
+
+// TestWedgeSendLookaheadPanics: a delivery below now+dMin must panic — it
+// means the delay model broke its declared minimum, which would silently
+// corrupt the conservative bound.
+func TestWedgeSendLookaheadPanics(t *testing.T) {
+	g := NewWedgeGroup(2, 10)
+	g.Connect(0, 1, 4)
+	g.horizon = 1000
+	w := g.Wedge(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookahead-violating Send did not panic")
+		}
+	}()
+	w.Send(1, BoundaryEvent{At: 5})
+}
+
+// TestWedgeGroupValidation covers the constructor contracts.
+func TestWedgeGroupValidation(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		dMin Time
+	}{{1, 10}, {2, 0}, {2, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWedgeGroup(%d, %d) did not panic", tc.n, tc.dMin)
+				}
+			}()
+			NewWedgeGroup(tc.n, tc.dMin)
+		}()
+	}
+}
