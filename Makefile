@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-parallel bench bench-json bench-compare obs-overhead fuzz fuzz-parallel prof-parallel vet fmt cover cluster-smoke repro examples clean
+.PHONY: all build test test-short race race-parallel bench bench-json bench-compare obs-overhead fuzz fuzz-parallel fuzz-sweeps prof-parallel vet fmt cover cluster-smoke jobs-smoke repro examples clean
 
 all: build test
 
@@ -98,6 +98,20 @@ cover:
 # race detector.
 cluster-smoke:
 	$(GO) test -race -count=1 ./internal/cluster/ ./internal/coalesce/
+
+# Sweep-jobs smoke: decomposition key equivalence (incl. the committed
+# fuzz corpus), WFQ fairness/starvation properties, SSE streaming with
+# Last-Event-ID reconnect, and the randomized kill-and-resume scenario
+# (restart over the same store dir, only the gap recomputes) — all under
+# the race detector.
+jobs-smoke:
+	$(GO) test -race -count=1 ./internal/jobs/
+
+# Fuzz the sweep decomposition beyond the committed seed corpus: unit
+# keys must equal single-run keys byte-for-byte, with stable order and
+# no collisions.
+fuzz-sweeps:
+	$(GO) test -fuzz FuzzSweepDecompose -fuzztime 30s ./internal/jobs
 
 vet:
 	$(GO) vet ./...

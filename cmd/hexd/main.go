@@ -23,6 +23,9 @@
 //	POST /v1/run            {"l":50,"w":20,"scenario":"iii","faults":2,"seed":7}
 //	                        (?trace=1 arms the sim flight recorder)
 //	POST /v1/spec           {"l":50,"w":20,"scenario":"ramp","runs":250}
+//	POST /v1/sweeps         {"scenarios":["iii","ramp"],"faults":[0,2],"seed_count":20}
+//	GET  /v1/sweeps/{id}            (job status)
+//	GET  /v1/sweeps/{id}/events     (SSE result stream; Last-Event-ID resumes)
 //	GET  /v1/debug/requests (recent request traces, newest first)
 //	GET  /healthz
 //	GET  /metrics
@@ -46,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -68,6 +72,8 @@ func main() {
 		debugRing    = flag.Int("debug-requests", 64, "completed request traces kept for GET /v1/debug/requests (negative disables)")
 		flightEvents = flag.Int("flight-events", 4096, "sim events retained by the ?trace=1 flight recorder (negative disables)")
 		wedges       = flag.String("wedges", "0", "wedge-parallel engine per simulation: column wedge count, or 'auto' for GOMAXPROCS; 0/1 = serial (sweeps already parallelize across runs); results and cache keys are identical either way")
+		sweepUnits   = flag.Int("sweep-max-units", 10000, "largest admissible unit count for one POST /v1/sweeps job")
+		sweepFlight  = flag.Int("sweep-inflight", 0, "sweep units dispatched concurrently into the worker pool (0 = 2x GOMAXPROCS)")
 
 		routerOn       = flag.Bool("router", false, "run as a fleet router: forward to -peers instead of executing locally")
 		peers          = flag.String("peers", "", "comma-separated backend base URLs for -router (e.g. http://n1:8081,http://n2:8081)")
@@ -98,6 +104,8 @@ func main() {
 			cacheEntries:   *routerCache,
 			traceRing:      *debugRing,
 			drain:          *drainwindow,
+			sweepUnits:     *sweepUnits,
+			sweepInflight:  *sweepFlight,
 			limits: service.Options{
 				DefaultTimeout: *timeout,
 				MaxTimeout:     *maxTimeout,
@@ -133,7 +141,30 @@ func main() {
 		FlightEvents:   *flightEvents,
 		Wedges:         nWedges,
 	})
-	handler := svc.Handler()
+	// Sweep jobs share the service's store, trace ring, metrics endpoint,
+	// and admission limits; units run through svc.RunUnit, i.e. the same
+	// pipeline as interactive /v1/run traffic.
+	mgr := jobs.NewManager(jobs.Options{
+		Runner:      svc,
+		Service:     svc.Options(),
+		Store:       st,
+		MaxUnits:    *sweepUnits,
+		MaxInFlight: *sweepFlight,
+		Logger:      logger,
+		Trace:       svc.Ring(),
+	})
+	svc.Metrics.AddExtra(mgr.Metrics.WriteText)
+	if n, err := mgr.Recover(); err != nil {
+		logger.Error("sweep job recovery failed", "err", err.Error())
+		os.Exit(1)
+	} else if n > 0 {
+		logger.Info("sweep jobs resumed", "jobs", n)
+	}
+
+	apiMux := http.NewServeMux()
+	apiMux.Handle("/", svc.Handler())
+	mgr.Register(apiMux)
+	var handler http.Handler = apiMux
 	if *pprofOn {
 		// Wrap the API mux rather than touching http.DefaultServeMux, so
 		// the profile endpoints exist only when asked for.
@@ -176,6 +207,7 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("shutdown error", "err", err.Error())
 	}
+	mgr.Close()
 	svc.Close()
 	logger.Info("drained, bye")
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/jobs"
 	"repro/internal/service"
 )
 
@@ -23,6 +24,8 @@ type routerConfig struct {
 	cacheEntries   int
 	traceRing      int
 	drain          time.Duration
+	sweepUnits     int
+	sweepInflight  int
 	limits         service.Options
 }
 
@@ -52,9 +55,29 @@ func runRouter(logger *slog.Logger, cfg routerConfig) {
 		logger.Error("router init failed", "err", err.Error())
 		os.Exit(2)
 	}
+	// A router hosts sweep jobs too: units fan out to their canonical
+	// keys' owning shards via rt.RunUnit. Specs are not durable here (the
+	// router is stateless by design) — shard-side stores still dedupe a
+	// re-submitted sweep down to store hits.
+	mgr := jobs.NewManager(jobs.Options{
+		Runner:      rt,
+		Service:     cfg.limits,
+		MaxUnits:    cfg.sweepUnits,
+		MaxInFlight: cfg.sweepInflight,
+		Logger:      logger,
+		Trace:       rt.Ring(),
+		Retryable: func(err error) bool {
+			return errors.Is(err, service.ErrQueueFull) || errors.Is(err, cluster.ErrBusy)
+		},
+	})
+	rt.Metrics.AddExtra(mgr.Metrics.WriteText)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", rt.Handler())
+	mgr.Register(mux)
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           rt.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -78,6 +101,7 @@ func runRouter(logger *slog.Logger, cfg routerConfig) {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("shutdown error", "err", err.Error())
 	}
+	mgr.Close()
 	rt.Close()
 	logger.Info("router drained, bye")
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/service"
 )
@@ -37,6 +38,18 @@ type Metrics struct {
 
 	peers     []string
 	endpoints []string
+
+	extraMu sync.Mutex
+	extra   []func(io.Writer)
+}
+
+// AddExtra registers an auxiliary metric writer appended after the
+// router families on every scrape — the same hook service.Metrics offers,
+// so a router-hosted jobs manager exposes its sweep families here too.
+func (m *Metrics) AddExtra(f func(io.Writer)) {
+	m.extraMu.Lock()
+	defer m.extraMu.Unlock()
+	m.extra = append(m.extra, f)
 }
 
 // NewMetrics returns an empty registry for the given peers and endpoint
@@ -103,4 +116,11 @@ func (m *Metrics) WriteText(w io.Writer) {
 		func(i int) int64 { return int64(m.Transitions[i].Value()) })
 	perPeer("hexd_cluster_peer_up", "gauge", "Peer health (1 up, 0 down), by peer.",
 		func(i int) int64 { return m.PeerUp[i].Value() })
+	m.extraMu.Lock()
+	extra := make([]func(io.Writer), len(m.extra))
+	copy(extra, m.extra)
+	m.extraMu.Unlock()
+	for _, f := range extra {
+		f(w)
+	}
 }

@@ -196,6 +196,11 @@ func (r *Router) submit(run func()) error {
 // Peers returns the router's peer list in configuration order.
 func (r *Router) Peers() []string { return append([]string(nil), r.peerURLs...) }
 
+// Ring returns the router's completed-request trace ring, so auxiliary
+// request sources (the sweep-jobs manager) can land their traces next to
+// proxied requests in GET /v1/debug/requests.
+func (r *Router) Ring() *obs.Ring { return r.ring }
+
 // Close stops the health loop, refuses new flights, and waits for
 // in-flight forwards to finish. Idempotent is not required of it — the
 // daemon calls it exactly once at drain.

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"repro/internal/coalesce"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// RunUnit executes one normalized single-run request through the full
+// router pipeline — fleet-wide coalescing, rendezvous routing to the
+// key's owning shard, retry with deterministic re-homing — exactly as if
+// its JSON had arrived as its own POST /v1/run. It exists for the jobs
+// layer (it satisfies jobs.Runner structurally, without this package
+// importing jobs): a sweep submitted to a router fans its units out
+// across the fleet by key ownership, and each unit still dedupes against
+// interactive traffic and other sweeps touching the same key.
+func (r *Router) RunUnit(ctx context.Context, timeout time.Duration, req service.RunRequest) (*coalesce.Value, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	key := req.CanonicalKey()
+	tr := obs.FromContext(ctx)
+	rid := tr.ID()
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	traceID := tr.TraceID()
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+		tr.SetTraceID(traceID)
+	}
+	r.Metrics.Requests["run"].Inc()
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	tp := obs.FormatTraceparent(traceID)
+	return r.coal.Do(ctx, timeout, key, func(fctx context.Context) (*coalesce.Value, error) {
+		return r.forward(fctx, "/v1/run", key, raw, rid, tp)
+	})
+}

@@ -138,6 +138,17 @@ func (c *Coalescer) Do(ctx context.Context, timeout time.Duration, key string, c
 		return v, nil
 	}
 	tap(c.hooks.OnMiss)
+	// Join an already-in-flight computation before probing the second
+	// tier: the flight's answer is coming anyway, so a joiner paying a
+	// disk read for a guaranteed miss (the flight exists because the
+	// tiers missed) would be pure waste — and under a stampede of
+	// identical requests, N-1 wasted reads.
+	if f := c.join(key); f != nil {
+		endLookup()
+		tap(c.hooks.OnJoin)
+		tr.Note("join-inflight")
+		return c.wait(ctx, f)
+	}
 	if c.hooks.SecondTier != nil {
 		if v, ok := c.hooks.SecondTier(ctx, key); ok {
 			endLookup()
@@ -151,6 +162,8 @@ func (c *Coalescer) Do(ctx context.Context, timeout time.Duration, key string, c
 	endLookup()
 
 	c.mu.Lock()
+	// Re-check the flight map with the lock held: a computation may have
+	// started while this caller was probing the second tier.
 	if f, ok := c.inflight[key]; ok {
 		f.waiters++
 		c.mu.Unlock()
@@ -203,6 +216,18 @@ func (c *Coalescer) Do(ctx context.Context, timeout time.Duration, key string, c
 	c.inflight[key] = f
 	c.mu.Unlock()
 	return c.wait(ctx, f)
+}
+
+// join registers the caller as a waiter on the key's in-flight
+// computation, returning nil when none exists.
+func (c *Coalescer) join(key string) *flight {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.inflight[key]
+	if f != nil {
+		f.waiters++
+	}
+	return f
 }
 
 // wait blocks until the flight completes or ctx is done, whichever is

@@ -1,0 +1,248 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// testOpts are the admission limits used throughout the jobs tests —
+// resolved once, like a real daemon resolves its flags once.
+func testOpts() service.Options {
+	return service.Options{}.Resolved()
+}
+
+func TestSweepNormalizeDefaults(t *testing.T) {
+	var sp SweepSpec
+	if err := sp.Normalize(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Scenarios) != 1 || sp.Scenarios[0] != "zero" {
+		t.Fatalf("default scenarios = %v, want [zero]", sp.Scenarios)
+	}
+	if len(sp.Faults) != 1 || sp.Faults[0] != 0 {
+		t.Fatalf("default faults = %v, want [0]", sp.Faults)
+	}
+	if sp.SeedStart != 1 || sp.SeedCount != 1 {
+		t.Fatalf("default seeds = start %d count %d, want 1/1", sp.SeedStart, sp.SeedCount)
+	}
+	if sp.Tenant != "default" || sp.Weight != 1 {
+		t.Fatalf("default tenant/weight = %q/%d, want default/1", sp.Tenant, sp.Weight)
+	}
+	units, err := sp.Decompose(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("default spec decomposed to %d units, want 1", len(units))
+	}
+	// The default sweep's one unit is exactly the default single run.
+	def := service.RunRequest{}
+	if err := def.Normalize(testOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if units[0].Key != def.CanonicalKey() {
+		t.Fatalf("default unit key %q != default run key %q", units[0].Key, def.CanonicalKey())
+	}
+}
+
+func TestSweepNormalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec SweepSpec
+		want string
+	}{
+		{"weight too big", SweepSpec{Weight: MaxWeight + 1}, "weight"},
+		{"negative weight", SweepSpec{Weight: -1}, "weight"},
+		{"unprintable tenant", SweepSpec{Tenant: "a\nb"}, "tenant"},
+		{"tenant too long", SweepSpec{Tenant: strings.Repeat("x", maxTenantLen+1)}, "tenant"},
+		{"negative seed count", SweepSpec{SeedCount: -1}, "seed_count"},
+		{"too many units", SweepSpec{SeedCount: 11}, "exceeds"},
+		{"axis overflow", SweepSpec{Scenarios: []string{"a", "b", "c", "d"}, Faults: []int{0, 1, 2}, SeedCount: 1}, "exceeds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Normalize(10)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Normalize = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecomposeOrderAndKeyEquivalence(t *testing.T) {
+	sp := SweepSpec{
+		L: 14, W: 8,
+		Scenarios: []string{"iii", "zero"},
+		Faults:    []int{0, 2},
+		Seeds:     []uint64{42},
+		SeedStart: 7, SeedCount: 2,
+	}
+	if err := sp.Normalize(1000); err != nil {
+		t.Fatal(err)
+	}
+	units, err := sp.Decompose(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stable nesting: scenarios outermost, then faults, then seeds
+	// (explicit list before the range).
+	wantSeeds := []uint64{42, 7, 8}
+	if len(units) != 2*2*3 {
+		t.Fatalf("decomposed to %d units, want 12", len(units))
+	}
+	i := 0
+	for _, sc := range []string{"iii", "zero"} {
+		for _, f := range []int{0, 2} {
+			for _, seed := range wantSeeds {
+				u := units[i]
+				if u.Index != i {
+					t.Fatalf("unit %d has Index %d", i, u.Index)
+				}
+				// The proof the whole design rests on: the unit's key is
+				// byte-identical to the key of an independently built,
+				// independently normalized single /v1/run request.
+				single := service.RunRequest{L: 14, W: 8, Scenario: sc, Faults: f, Seed: seed}
+				if err := single.Normalize(testOpts()); err != nil {
+					t.Fatal(err)
+				}
+				if u.Key != single.CanonicalKey() {
+					t.Fatalf("unit %d key %q != single-run key %q", i, u.Key, single.CanonicalKey())
+				}
+				i++
+			}
+		}
+	}
+}
+
+func TestDecomposeRejectsDuplicateWork(t *testing.T) {
+	sp := SweepSpec{Seeds: []uint64{5, 5}}
+	if err := sp.Normalize(1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Decompose(testOpts()); err == nil || !strings.Contains(err.Error(), "identical work") {
+		t.Fatalf("duplicate seeds decomposed without error (got %v)", err)
+	}
+	// Seed 0 normalizes to seed 1 exactly like /v1/run does, so 0 and 1
+	// are the same work too — the collision must be caught post-normalize.
+	sp = SweepSpec{Seeds: []uint64{0, 1}}
+	if err := sp.Normalize(1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Decompose(testOpts()); err == nil {
+		t.Fatal("seeds 0 and 1 (aliases post-normalize) decomposed without error")
+	}
+}
+
+func TestJobIDDeterminismAndSensitivity(t *testing.T) {
+	sp := SweepSpec{Scenarios: []string{"iii"}, SeedCount: 3, Tenant: "team-a", Weight: 2}
+	if err := sp.Normalize(1000); err != nil {
+		t.Fatal(err)
+	}
+	units, err := sp.Decompose(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1 := JobID(sp, units)
+
+	sp2 := sp // identical spec, fresh decomposition
+	units2, err := sp2.Decompose(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 := JobID(sp2, units2); id2 != id1 {
+		t.Fatalf("identical spec re-derived different job ID: %s vs %s", id2, id1)
+	}
+
+	sp3 := sp
+	sp3.Weight = 3 // same work, different scheduling envelope
+	if id3 := JobID(sp3, units); id3 == id1 {
+		t.Fatal("different weight produced the same job ID")
+	}
+
+	key := storeKey(id1)
+	back, ok := jobIDFromStoreKey(key)
+	if !ok || back != id1 {
+		t.Fatalf("jobIDFromStoreKey(%q) = %q, %v", key, back, ok)
+	}
+	if _, ok := jobIDFromStoreKey("run:abc"); ok {
+		t.Fatal("foreign store key accepted as a job key")
+	}
+}
+
+// FuzzSweepDecompose is the acceptance-gating property harness for the
+// decomposition: for arbitrary specs, every unit's canonical key must be
+// byte-for-byte the key of the equivalent independently-normalized
+// single-run request, keys must be collision-free, and the decomposition
+// (plus the job ID derived from it) must be stable across repeated runs.
+func FuzzSweepDecompose(f *testing.F) {
+	f.Add(0, 0, uint8(0), 0, 0, uint64(0), 0, uint64(0), false, int64(0))
+	f.Add(14, 8, uint8(1), 0, 2, uint64(7), 2, uint64(42), true, int64(500))
+	f.Add(20, 10, uint8(3), 1, 3, uint64(1<<60), 4, uint64(9), false, int64(-5))
+	scenarioPool := []string{"zero", "iii", "ramp", "udminus"}
+	opts := testOpts()
+	f.Fuzz(func(t *testing.T, l, w int, scPick uint8, f1, f2 int, seedStart uint64, seedCount int, extraSeed uint64, hexPlus bool, timeoutMs int64) {
+		sp := SweepSpec{
+			L: l, W: w,
+			Scenarios: scenarioPool[:1+int(scPick)%len(scenarioPool)],
+			Faults:    []int{f1, f2},
+			SeedStart: seedStart, SeedCount: seedCount % 8,
+			Seeds:     []uint64{extraSeed},
+			HexPlus:   hexPlus,
+			TimeoutMs: timeoutMs,
+		}
+		if err := sp.Normalize(256); err != nil {
+			t.Skip() // invalid scheduling envelope: rejection is the contract
+		}
+		units, err := sp.Decompose(opts)
+		if err != nil {
+			return // infeasible unit or duplicate work: rejection, not corruption
+		}
+		seen := make(map[string]int, len(units))
+		for i, u := range units {
+			if u.Index != i {
+				t.Fatalf("unit %d carries Index %d", i, u.Index)
+			}
+			if prev, dup := seen[u.Key]; dup {
+				t.Fatalf("units %d and %d share key %s", prev, i, u.Key)
+			}
+			seen[u.Key] = i
+			// Rebuild the equivalent single-run request from the unit's own
+			// pre-normalization coordinates and demand the identical key.
+			single := service.RunRequest{
+				L: l, W: w,
+				Scenario:  u.Req.Scenario,
+				Faults:    u.Req.Faults,
+				FaultType: sp.FaultType,
+				Seed:      u.Req.Seed,
+				HexPlus:   hexPlus,
+				TimeoutMs: timeoutMs,
+			}
+			if err := single.Normalize(opts); err != nil {
+				t.Fatalf("unit %d admissible in sweep but not alone: %v", i, err)
+			}
+			if got, want := u.Key, single.CanonicalKey(); got != want {
+				t.Fatalf("unit %d key %q != single-run key %q", i, got, want)
+			}
+		}
+		// Stability: a second decomposition yields the same units in the
+		// same order, and the same job ID.
+		sp2 := sp
+		units2, err := sp2.Decompose(opts)
+		if err != nil {
+			t.Fatalf("second decomposition failed: %v", err)
+		}
+		if len(units2) != len(units) {
+			t.Fatalf("decomposition size changed: %d vs %d", len(units2), len(units))
+		}
+		for i := range units {
+			if units[i].Key != units2[i].Key {
+				t.Fatalf("unit %d key unstable: %q vs %q", i, units[i].Key, units2[i].Key)
+			}
+		}
+		if JobID(sp, units) != JobID(sp2, units2) {
+			t.Fatal("job ID unstable across identical decompositions")
+		}
+	})
+}

@@ -1,0 +1,319 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// quiet is a logger that keeps manager chatter out of test output.
+func quiet() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+
+// newTestManager builds a service (optionally store-backed) and a jobs
+// manager over it, with cleanup in dependency order.
+func newTestManager(t *testing.T, st *store.Store) (*Manager, *service.Service) {
+	t.Helper()
+	svc := service.New(service.Options{Workers: 2, Store: st, Logger: quiet()})
+	t.Cleanup(svc.Close)
+	mgr := NewManager(Options{
+		Runner:  svc,
+		Service: svc.Options(),
+		Store:   st,
+		Logger:  quiet(),
+	})
+	t.Cleanup(mgr.Close)
+	return mgr, svc
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	id, event string
+	data      []byte
+}
+
+// readSSE consumes events from body until done-event, n result events,
+// or EOF — whichever comes first.
+func readSSE(t *testing.T, body io.Reader, n int) (events []sseEvent, sawDone bool) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != nil {
+				if cur.event == "done" {
+					return events, true
+				}
+				events = append(events, cur)
+				if n > 0 && len(events) >= n {
+					return events, false
+				}
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = line[len("id: "):]
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(line[len("data: "):])
+		case strings.HasPrefix(line, ":"):
+			// comment frame (epoch banner, heartbeat)
+		default:
+			t.Fatalf("unparseable SSE line %q", line)
+		}
+	}
+	return events, false
+}
+
+// openStream GETs the job's event stream with an optional Last-Event-ID.
+func openStream(t *testing.T, base, jobID, lastEventID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("GET", base+"/v1/sweeps/"+jobID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("event stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("event stream content type = %q", ct)
+	}
+	return resp
+}
+
+func submitSweep(t *testing.T, base, body string, wantStatus int) submitResponse {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST /v1/sweeps = %d, want %d (body %s)", resp.StatusCode, wantStatus, raw)
+	}
+	var sr submitResponse
+	if wantStatus < 300 {
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatalf("decoding submit response %s: %v", raw, err)
+		}
+	}
+	return sr
+}
+
+func TestSweepHTTPLifecycle(t *testing.T) {
+	mgr, svc := newTestManager(t, nil)
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mgr.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	const spec = `{"l":12,"w":6,"scenarios":["iii"],"seed_count":4}`
+	sub := submitSweep(t, srv.URL, spec, http.StatusAccepted)
+	if sub.Units != 4 || sub.Existing {
+		t.Fatalf("submit = %+v, want 4 fresh units", sub)
+	}
+
+	// The stream replays every result and terminates with a done event.
+	resp := openStream(t, srv.URL, sub.ID, "")
+	events, sawDone := readSSE(t, resp.Body, 0)
+	resp.Body.Close()
+	if !sawDone {
+		t.Fatal("stream ended without a done event")
+	}
+	if len(events) != 4 {
+		t.Fatalf("streamed %d results, want 4", len(events))
+	}
+	job, _ := mgr.Job(sub.ID)
+	keys := make(map[string]bool)
+	for i, ev := range events {
+		if ev.event != "result" {
+			t.Fatalf("event %d type %q, want result", i, ev.event)
+		}
+		var e Event
+		if err := json.Unmarshal(ev.data, &e); err != nil {
+			t.Fatalf("event %d data: %v", i, err)
+		}
+		// Monotonic ids: seq is the 1-based completion index, and the SSE
+		// id is epoch-qualified so reconnects can detect restarts.
+		if e.Seq != i+1 {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, i+1)
+		}
+		if want := fmt.Sprintf("%s-%d", job.Epoch, e.Seq); ev.id != want {
+			t.Fatalf("event %d id = %q, want %q", i, ev.id, want)
+		}
+		if e.Status != "done" || keys[e.Key] {
+			t.Fatalf("event %d: status %q, key %q (dup=%v)", i, e.Status, e.Key, keys[e.Key])
+		}
+		keys[e.Key] = true
+		// The payload is a checksummed store-codec record whose body is
+		// byte-identical to what POST /v1/run answers for the same unit.
+		entry, err := store.DecodeEntry(e.Record)
+		if err != nil {
+			t.Fatalf("event %d record: %v", i, err)
+		}
+		if entry.Key != e.Key || entry.Events != e.Events {
+			t.Fatalf("event %d record header (%s, %d) != event (%s, %d)",
+				i, entry.Key, entry.Events, e.Key, e.Events)
+		}
+		var runBody bytes.Buffer
+		runReq := job.Units[slotByKey(t, job, e.Key)].Req
+		raw, _ := json.Marshal(runReq)
+		rr, err := http.Post(srv.URL+"/v1/run", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(&runBody, rr.Body)
+		rr.Body.Close()
+		if !bytes.Equal(runBody.Bytes(), entry.Body) {
+			t.Fatalf("event %d body differs from direct /v1/run for key %s", i, e.Key)
+		}
+	}
+
+	// Status endpoint agrees.
+	st, err := http.Get(srv.URL + "/v1/sweeps/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status statusResponse
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if !status.Complete || status.Done != 4 || status.Failed != 0 {
+		t.Fatalf("status = %+v, want complete with 4 done", status)
+	}
+
+	// Idempotent resubmission: same spec, same job, 200 + existing.
+	again := submitSweep(t, srv.URL, spec, http.StatusOK)
+	if !again.Existing || again.ID != sub.ID {
+		t.Fatalf("resubmission = %+v, want existing job %s", again, sub.ID)
+	}
+
+	// Rejections: invalid scheduling envelope, unknown field, unknown job.
+	submitSweep(t, srv.URL, `{"weight":1000}`, http.StatusBadRequest)
+	submitSweep(t, srv.URL, `{"bogus":1}`, http.StatusBadRequest)
+	if r, err := http.Get(srv.URL + "/v1/sweeps/sweep:nope"); err != nil || r.StatusCode != 404 {
+		t.Fatalf("unknown job status = %v, %v (want 404)", r.StatusCode, err)
+	} else {
+		r.Body.Close()
+	}
+}
+
+// slotByKey finds the unit index owning key.
+func slotByKey(t *testing.T, j *Job, key string) int {
+	t.Helper()
+	for _, u := range j.Units {
+		if u.Key == key {
+			return u.Index
+		}
+	}
+	t.Fatalf("no unit with key %s", key)
+	return -1
+}
+
+// seqSet extracts the set of seqs from parsed result events.
+func seqSet(t *testing.T, events []sseEvent) map[int]bool {
+	t.Helper()
+	set := make(map[int]bool, len(events))
+	for _, ev := range events {
+		var e Event
+		if err := json.Unmarshal(ev.data, &e); err != nil {
+			t.Fatal(err)
+		}
+		if set[e.Seq] {
+			t.Fatalf("seq %d delivered twice in one stream", e.Seq)
+		}
+		set[e.Seq] = true
+	}
+	return set
+}
+
+func TestSweepSSEReconnect(t *testing.T) {
+	mgr, svc := newTestManager(t, nil)
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mgr.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	sub := submitSweep(t, srv.URL, `{"l":12,"w":6,"scenarios":["iii","zero"],"seed_count":3}`, http.StatusAccepted)
+	if sub.Units != 6 {
+		t.Fatalf("units = %d, want 6", sub.Units)
+	}
+
+	// Read the first two results, then drop the connection mid-stream.
+	resp := openStream(t, srv.URL, sub.ID, "")
+	head, _ := readSSE(t, resp.Body, 2)
+	resp.Body.Close()
+	if len(head) != 2 {
+		t.Fatalf("first connection read %d events, want 2", len(head))
+	}
+
+	// Reconnect quoting the last delivered id: the stream resumes exactly
+	// after it — every remaining seq once, no duplicates, no gaps.
+	resp = openStream(t, srv.URL, sub.ID, head[len(head)-1].id)
+	tail, sawDone := readSSE(t, resp.Body, 0)
+	resp.Body.Close()
+	if !sawDone {
+		t.Fatal("reconnected stream ended without done")
+	}
+	got := seqSet(t, tail)
+	for _, ev := range head {
+		var e Event
+		if err := json.Unmarshal(ev.data, &e); err != nil {
+			t.Fatal(err)
+		}
+		if got[e.Seq] {
+			t.Fatalf("seq %d delivered on both connections despite Last-Event-ID", e.Seq)
+		}
+		got[e.Seq] = true
+	}
+	for seq := 1; seq <= 6; seq++ {
+		if !got[seq] {
+			t.Fatalf("seq %d never delivered across the two connections", seq)
+		}
+	}
+
+	// A Last-Event-ID from a different epoch (a pre-restart stream, a
+	// typo) cannot be trusted for positional resume: the server replays
+	// the whole log, trading duplicates for a no-gaps guarantee.
+	resp = openStream(t, srv.URL, sub.ID, "ffffffffffffffff-4")
+	replay, sawDone := readSSE(t, resp.Body, 0)
+	resp.Body.Close()
+	if !sawDone || len(replay) != 6 {
+		t.Fatalf("stale-epoch reconnect streamed %d events (done=%v), want full replay of 6", len(replay), sawDone)
+	}
+
+	// The query-parameter fallback behaves like the header.
+	job, _ := mgr.Job(sub.ID)
+	r, err := http.Get(srv.URL + "/v1/sweeps/" + sub.ID + "/events?last_event_id=" + job.Epoch + "-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, sawDone := readSSE(t, r.Body, 0)
+	r.Body.Close()
+	if !sawDone || len(rest) != 2 {
+		t.Fatalf("query-param resume streamed %d events (done=%v), want 2", len(rest), sawDone)
+	}
+}

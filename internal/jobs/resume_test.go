@@ -1,0 +1,168 @@
+package jobs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// openStore opens the durable tier over dir, failing the test on error.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// doneBodies collects key → decoded result body for every successfully
+// completed unit in the job's event log.
+func doneBodies(t *testing.T, j *Job) map[string][]byte {
+	t.Helper()
+	events, _, _ := j.eventsAfter(0)
+	out := make(map[string][]byte, len(events))
+	for _, ev := range events {
+		if ev.Status != "done" {
+			continue
+		}
+		entry, err := store.DecodeEntry(ev.Record)
+		if err != nil {
+			t.Fatalf("seq %d record: %v", ev.Seq, err)
+		}
+		out[ev.Key] = entry.Body
+	}
+	return out
+}
+
+// TestSweepCrashRestartRecomputesOnlyTheGap is the acceptance scenario
+// for durable jobs: kill the process at a randomized point mid-sweep,
+// restart over the same store directory, and prove — through the
+// store_hits and sim-run counters alone — that only the unfinished units
+// recompute, while every result is byte-identical to the first life's.
+func TestSweepCrashRestartRecomputesOnlyTheGap(t *testing.T) {
+	dir := t.TempDir()
+	spec := SweepSpec{
+		L: 12, W: 6,
+		Scenarios: []string{"iii", "zero"},
+		SeedCount: 4,
+	}
+	const units = 2 * 4
+
+	// First life: single-dispatch so the kill point is precise (at most
+	// one unit is mid-flight when the manager dies).
+	st1 := openStore(t, dir)
+	svc1 := service.New(service.Options{Workers: 2, Store: st1, Logger: quiet()})
+	mgr1 := NewManager(Options{
+		Runner: svc1, Service: svc1.Options(), Store: st1,
+		MaxInFlight: 1, Logger: quiet(),
+	})
+	j1, existing, err := mgr1.Submit(spec)
+	if err != nil || existing {
+		t.Fatalf("submit: %v (existing=%v)", err, existing)
+	}
+
+	// Kill at a randomized point strictly inside the sweep. The cut is
+	// capped below units-1 so that even if the one in-flight unit races
+	// its cancellation and completes, the job cannot finish in life one.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	cut := 1 + rng.Intn(units-2)
+	t.Logf("killing after %d of %d units", cut, units)
+	waitFor(t, func() bool { _, _, done, _ := j1.Counts(); return done >= cut })
+	mgr1.Close()
+
+	// Ground truth after the "crash": whatever managed to finish. Wait
+	// for its write-behind to land, as a real drain would.
+	_, _, finished, _ := j1.Counts()
+	if finished >= units {
+		t.Fatalf("job finished (%d units) before the kill landed", finished)
+	}
+	waitFor(t, func() bool { return svc1.Metrics.StoreWrites.Value() >= uint64(finished) })
+	firstBodies := doneBodies(t, j1)
+	svc1.Close()
+
+	// Second life: fresh store, service, and manager over the same dir.
+	st2 := openStore(t, dir)
+	svc2 := service.New(service.Options{Workers: 2, Store: st2, Logger: quiet()})
+	defer svc2.Close()
+	mgr2 := NewManager(Options{
+		Runner: svc2, Service: svc2.Options(), Store: st2,
+		MaxInFlight: 1, Logger: quiet(),
+	})
+	defer mgr2.Close()
+	n, err := mgr2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Recover resumed %d jobs, want 1", n)
+	}
+	j2, ok := mgr2.Job(j1.ID)
+	if !ok {
+		t.Fatalf("recovered manager does not know job %s (same spec must re-derive the same ID)", j1.ID)
+	}
+	if !j2.Resumed {
+		t.Fatal("recovered job not marked resumed")
+	}
+	waitFor(t, j2.Done)
+	if _, _, done2, failed2 := j2.Counts(); done2 != units || failed2 != 0 {
+		t.Fatalf("resumed job finished with done=%d failed=%d, want %d/0", done2, failed2, units)
+	}
+
+	// The counters are the proof: every unit that survived the crash is
+	// answered from the durable store, and only the gap simulates.
+	if got, want := svc2.Metrics.SimRuns.Value(), uint64(units-finished); got != want {
+		t.Fatalf("second life ran %d simulations, want exactly the gap %d", got, want)
+	}
+	if got, want := svc2.Metrics.StoreHits.Value(), uint64(finished); got != want {
+		t.Fatalf("second life store hits = %d, want %d (the finished units)", got, want)
+	}
+
+	// Determinism: results the first life produced match the second
+	// life's byte for byte.
+	secondBodies := doneBodies(t, j2)
+	if len(secondBodies) != units {
+		t.Fatalf("second life has %d result bodies, want %d", len(secondBodies), units)
+	}
+	for key, body := range firstBodies {
+		if !bytes.Equal(body, secondBodies[key]) {
+			t.Fatalf("key %s: resumed result differs from pre-crash result", key)
+		}
+	}
+
+	// The completed job retires its durable spec record, so a third boot
+	// has nothing to resume.
+	waitFor(t, func() bool { return len(st2.Keys(jobKeyPrefix)) == 0 })
+	mgr3 := NewManager(Options{
+		Runner: svc2, Service: svc2.Options(), Store: st2, Logger: quiet(),
+	})
+	defer mgr3.Close()
+	if n, err := mgr3.Recover(); err != nil || n != 0 {
+		t.Fatalf("third boot recovered %d jobs (%v), want 0", n, err)
+	}
+}
+
+// TestSweepRecoverSkipsGarbageRecords: a job record that no longer
+// decodes is dropped (and deleted) rather than wedging every boot.
+func TestSweepRecoverSkipsGarbageRecords(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	if err := st.Put(store.Entry{
+		Key:         storeKey("sweep:deadbeef"),
+		ContentType: "application/json",
+		Body:        []byte("not a spec"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mgr, _ := newTestManager(t, st)
+	if n, err := mgr.Recover(); err != nil || n != 0 {
+		t.Fatalf("Recover = %d, %v; want 0, nil", n, err)
+	}
+	if keys := st.Keys(jobKeyPrefix); len(keys) != 0 {
+		t.Fatalf("undecodable job record survived recovery: %v", keys)
+	}
+}

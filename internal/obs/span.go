@@ -71,6 +71,7 @@ type Trace struct {
 	spans        []Span
 	spansDropped int
 	notes        []string
+	attrs        map[string]string
 	status       int
 	errMsg       string
 	flight       *FlightDump
@@ -155,6 +156,23 @@ func (t *Trace) Note(note string) {
 	t.notes = append(t.notes, note)
 }
 
+// SetAttr attaches a structured key/value attribute to the trace,
+// surfaced as attrs in snapshots. Unlike Note (a free-form breadcrumb),
+// attrs are for identifiers worth filtering on — a sweep unit's job ID,
+// unit index, and tenant — so /v1/debug/requests can answer "show me the
+// units of job X" without string-parsing notes.
+func (t *Trace) SetAttr(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.attrs == nil {
+		t.attrs = make(map[string]string, 4)
+	}
+	t.attrs[key] = value
+}
+
 // SetFlight attaches a flight-recorder dump. It may be called after Finish:
 // a computation that outlives its waiters (all of them timed out) still
 // reports its dump into the trace, and snapshots taken afterwards see it.
@@ -189,17 +207,18 @@ func (t *Trace) Finish(status int, err error) {
 
 // TraceSnapshot is an immutable copy of a trace, shaped for JSON.
 type TraceSnapshot struct {
-	ID           string         `json:"id"`
-	TraceID      string         `json:"trace_id,omitempty"`
-	Endpoint     string         `json:"endpoint"`
-	Start        time.Time      `json:"start"`
-	DurationMs   float64        `json:"duration_ms"`
-	Status       int            `json:"status"`
-	Error        string         `json:"error,omitempty"`
-	Notes        []string       `json:"notes,omitempty"`
-	Spans        []SpanSnapshot `json:"spans,omitempty"`
-	SpansDropped int            `json:"spans_dropped,omitempty"`
-	Flight       *FlightDump    `json:"flight,omitempty"`
+	ID           string            `json:"id"`
+	TraceID      string            `json:"trace_id,omitempty"`
+	Endpoint     string            `json:"endpoint"`
+	Start        time.Time         `json:"start"`
+	DurationMs   float64           `json:"duration_ms"`
+	Status       int               `json:"status"`
+	Error        string            `json:"error,omitempty"`
+	Notes        []string          `json:"notes,omitempty"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	Spans        []SpanSnapshot    `json:"spans,omitempty"`
+	SpansDropped int               `json:"spans_dropped,omitempty"`
+	Flight       *FlightDump       `json:"flight,omitempty"`
 }
 
 // SpanSnapshot is one span in a TraceSnapshot.
@@ -229,6 +248,12 @@ func (t *Trace) Snapshot() TraceSnapshot {
 		Notes:        append([]string(nil), t.notes...),
 		SpansDropped: t.spansDropped,
 		Flight:       t.flight,
+	}
+	if len(t.attrs) > 0 {
+		snap.Attrs = make(map[string]string, len(t.attrs))
+		for k, v := range t.attrs {
+			snap.Attrs[k] = v
+		}
 	}
 	if !t.done {
 		snap.DurationMs = float64(time.Since(t.start)) / float64(time.Millisecond)

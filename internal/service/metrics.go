@@ -64,6 +64,16 @@ var defEventBounds = []float64{100, 300, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6,
 // queue capacity.
 var defDepthBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// defRunSecondsBounds covers a single simulation run's wall time, from a
+// sub-millisecond toy grid to a deadline-bounded multi-minute run, in
+// roughly 4x steps (seconds).
+var defRunSecondsBounds = []float64{0.0002, 0.001, 0.004, 0.016, 0.064, 0.25, 1, 4, 16, 64}
+
+// NewHistogram returns a histogram over the given upper bounds, for
+// registries (the jobs manager's, the cluster router's) that extend the
+// service's metric surface with their own families.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
@@ -117,6 +127,12 @@ type Metrics struct {
 	// computation (a sweep counts as one observation of its total), so the
 	// workload mix — toy grids vs. large sweeps — is visible per scrape.
 	SimRunEvents *Histogram
+	// SimRunSeconds distributes the wall time of each individual
+	// simulation run — one observation per run even inside a /v1/spec
+	// sweep, where per-run timing was previously invisible behind the
+	// sweep's aggregate latency. Sweep-job units land here too, since
+	// each unit executes as its own run.
+	SimRunSeconds *Histogram
 	// QueueDepthSamples distributes the queue occupancy observed at each
 	// submission, which, unlike the instantaneous QueueDepth gauge,
 	// survives between scrapes and shows how close the service runs to the
@@ -131,6 +147,12 @@ type Metrics struct {
 	EventsPerSec *obs.RateEWMA
 
 	endpoints []string
+
+	// extraMu guards extra, the registered auxiliary writers appended to
+	// WriteText output (the jobs manager's sweep families ride along on
+	// the same /metrics scrape).
+	extraMu sync.Mutex
+	extra   []func(io.Writer)
 }
 
 // NewMetrics returns an empty registry for the given endpoint labels.
@@ -152,6 +174,7 @@ func NewMetrics(endpoints ...string) *Metrics {
 		InFlight:          &Gauge{},
 		StoreBytes:        &Gauge{},
 		SimRunEvents:      newHistogram(defEventBounds),
+		SimRunSeconds:     newHistogram(defRunSecondsBounds),
 		QueueDepthSamples: newHistogram(defDepthBounds),
 		EventsPerSec:      obs.NewRateEWMA(0),
 		endpoints:         append([]string(nil), endpoints...),
@@ -250,8 +273,26 @@ func (m *Metrics) WriteText(w io.Writer) {
 	}
 	metricHeader(w, "hexd_sim_run_events", "histogram", "Executed events per completed computation.")
 	writeHistogram(w, "hexd_sim_run_events", "", "", m.SimRunEvents)
+	metricHeader(w, "hexd_sim_run_seconds", "histogram", "Wall time of each individual simulation run, including runs inside sweeps.")
+	writeHistogram(w, "hexd_sim_run_seconds", "", "", m.SimRunSeconds)
 	metricHeader(w, "hexd_queue_depth_samples", "histogram", "Queue occupancy observed at each submission.")
 	writeHistogram(w, "hexd_queue_depth_samples", "", "", m.QueueDepthSamples)
+	m.extraMu.Lock()
+	extra := make([]func(io.Writer), len(m.extra))
+	copy(extra, m.extra)
+	m.extraMu.Unlock()
+	for _, f := range extra {
+		f(w)
+	}
+}
+
+// AddExtra registers an auxiliary metric writer appended after the
+// service's own families on every scrape. Writers must emit well-formed
+// exposition text (# HELP/# TYPE per family, stable order).
+func (m *Metrics) AddExtra(f func(io.Writer)) {
+	m.extraMu.Lock()
+	defer m.extraMu.Unlock()
+	m.extra = append(m.extra, f)
 }
 
 // trimFloat formats a bucket bound without trailing zeros.

@@ -213,6 +213,7 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*coalesce.Value
 	})
 	endSim()
 	s.Metrics.SimRuns.Inc()
+	s.Metrics.SimRunSeconds.ObserveDuration(time.Since(start))
 	if res != nil {
 		s.Metrics.SimEvents.Add(res.Events)
 		s.Metrics.SimRunEvents.Observe(float64(res.Events))
@@ -373,6 +374,9 @@ func (s *Service) computeSpec(ctx context.Context, r SpecRequest) (*coalesce.Val
 	var events uint64
 	for _, o := range outs {
 		events += o.Res.Events
+		// Per-run wall time was previously invisible inside sweeps: the
+		// endpoint histogram sees one aggregate latency for all Runs.
+		s.Metrics.SimRunSeconds.ObserveDuration(o.Elapsed)
 	}
 	s.Metrics.SimEvents.Add(events)
 	s.Metrics.SimRunEvents.Observe(float64(events))

@@ -232,3 +232,28 @@ func (s *Service) result(ctx context.Context, timeout time.Duration, key string,
 	}
 	return v, err
 }
+
+// RunUnit executes one normalized RunRequest through the full serving
+// pipeline — memory cache, durable store read-through, in-flight dedup,
+// bounded worker pool, write-behind persist — exactly as if it had
+// arrived as its own POST /v1/run. The request must already be
+// Normalized; its canonical key is byte-identical to the equivalent
+// single-run HTTP request, so sweep-job units dedupe against interactive
+// traffic and against each other across the LRU, the store, and the
+// fleet. ctx bounds how long the caller waits; timeout is the detached
+// computation's own deadline.
+//
+// internal/jobs is the intended caller: it is the seam that lets a sweep
+// job's scheduler feed units into the same worker pool that serves
+// single-run traffic, and it is what makes job resume free — a unit
+// whose result already sits in the durable store comes back as a store
+// hit with zero simulation work.
+func (s *Service) RunUnit(ctx context.Context, timeout time.Duration, r RunRequest) (*coalesce.Value, error) {
+	return s.result(ctx, timeout, r.CanonicalKey(),
+		func(fctx context.Context) (*coalesce.Value, error) { return s.computeRun(fctx, r) })
+}
+
+// Ring returns the service's completed-request trace ring (the one
+// behind GET /v1/debug/requests). The jobs manager adds its per-unit
+// traces here so sweep units are debuggable alongside HTTP requests.
+func (s *Service) Ring() *obs.Ring { return s.ring }

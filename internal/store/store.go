@@ -143,6 +143,35 @@ func (s *Store) Quarantined() uint64 {
 	return s.quarantined
 }
 
+// Keys returns the keys of live records that start with prefix, sorted
+// lexicographically (the iteration order of the in-memory index is
+// arbitrary; a sorted answer makes callers — the sweep-job recovery scan
+// — deterministic). An empty prefix lists every key.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k := range s.entries {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Delete removes the record stored under key from the index and from
+// disk. Deleting an absent key is a no-op. The jobs manager uses it to
+// retire a sweep job's spec record once every unit has completed, so
+// restarts stop re-materializing finished jobs.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.dropLocked(el, false)
+	}
+}
+
 // Get returns the entry stored under key. ok reports whether a valid
 // entry was served. A record that fails integrity checks at read time —
 // truncated or rewritten behind the store's back — is quarantined and
