@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-parallel bench bench-json bench-compare obs-overhead fuzz fuzz-parallel fuzz-sweeps prof-parallel vet fmt cover cluster-smoke jobs-smoke repro examples clean
+.PHONY: all build test test-short race race-parallel bench bench-json bench-compare obs-overhead fuzz fuzz-parallel fuzz-sweeps prof-parallel vet fmt cover cluster-smoke jobs-smoke campaign-smoke repro examples clean
 
 all: build test
 
@@ -18,13 +18,14 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Re-record the committed performance baseline: the two core benchmarks
-# plus the wedge-scaling matrix (1/2/4/8 wedges on L1000_W500). The JSON
-# header records GOMAXPROCS and the wedge counts, so a baseline measured on
-# a small machine is legible as such.
-BENCH_BASELINE ?= BENCH_6.json
+# Re-record the committed performance baseline: the two core benchmarks,
+# the wedge-scaling matrix (1/2/4/8 wedges on L1000_W500), and the
+# campaign pipeline (unbatched vs batched-agg on L20_W12 × 10k seeds).
+# The JSON header records GOMAXPROCS and the wedge counts, so a baseline
+# measured on a small machine is legible as such.
+BENCH_BASELINE ?= BENCH_8.json
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkPulsePropagation$$|BenchmarkMultiPulseStabilization$$|BenchmarkWedgeScaling$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkPulsePropagation$$|BenchmarkMultiPulseStabilization$$|BenchmarkWedgeScaling$$|BenchmarkCampaign$$' \
 		-benchmem -count=6 . | $(GO) run ./cmd/benchjson -out $(BENCH_BASELINE)
 
 # Compare the current baseline against the previous one: a per-benchmark
@@ -39,7 +40,7 @@ bench-json:
 # days while the code-level delta is ~5% worst case (see EXPERIMENTS.md).
 # 15% still catches algorithmic regressions — the calendar bucket-width
 # bug this PR fixed during development was a +30% hit on L20.
-BENCH_OLD ?= BENCH_4.json
+BENCH_OLD ?= BENCH_6.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare -fail-above 15 \
 		-gate-filter '^Benchmark(PulsePropagation|MultiPulseStabilization|WedgeScaling/.*/wedges=1$$)' \
@@ -112,6 +113,16 @@ jobs-smoke:
 # no collisions.
 fuzz-sweeps:
 	$(GO) test -fuzz FuzzSweepDecompose -fuzztime 30s ./internal/jobs
+
+# Campaign-pipeline smoke: every layer of the batched fast path under the
+# race detector — grid-cache sharing across concurrent requests, batched
+# units vs the unbatched oracle, aggregate HXA1 round trip and corruption
+# rejection, group commit (incl. crash/torn-tail fault injection), and
+# sweep cancellation.
+campaign-smoke:
+	$(GO) test -race -count=1 -run 'TestGridCache' ./internal/service/
+	$(GO) test -race -count=1 -run 'TestSweepBatched|TestSweepCancellation|TestCancelFinishedJobIsNoOp|TestWFQBatchFairness' ./internal/jobs/
+	$(GO) test -race -count=1 -run 'TestAggregate|TestPutGroup|TestKillBeforeSegmentRename|TestSegment' ./internal/store/
 
 vet:
 	$(GO) vet ./...

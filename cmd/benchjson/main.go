@@ -255,6 +255,7 @@ var compareUnits = []struct {
 }{
 	{"ns/op", false, true},
 	{"events/s", true, true},
+	{"runs/s", true, true},
 	{"B/op", false, false},
 	{"allocs/op", false, false},
 }

@@ -217,11 +217,16 @@ func RunPulse(cfg PulseConfig) (*PulseReport, error) {
 		return nil, err
 	}
 	wave := analysis.WaveFromResult(cfg.Grid.Graph, res, cfg.Faults, 0)
+	// SummarizeScaled over the raw skews is bit-identical to Summarize
+	// over the nanosecond floats (see its doc comment) but sorts integers.
+	skews := make([]sim.Time, 0, 3*cfg.Grid.Graph.NumNodes())
+	intra := stats.SummarizeScaled(wave.AppendIntraSkewTimes(skews), float64(sim.Nanosecond))
+	inter := stats.SummarizeScaled(wave.AppendInterSkewTimes(skews), float64(sim.Nanosecond))
 	return &PulseReport{
 		Wave:         wave,
 		Result:       res,
-		IntraSummary: stats.Summarize(wave.IntraSkews()),
-		InterSummary: stats.Summarize(wave.InterSkews()),
+		IntraSummary: intra,
+		InterSummary: inter,
 	}, nil
 }
 

@@ -33,6 +33,43 @@ func (w *Wave) appendIntraLayer(out []float64, l int) []float64 {
 	return out
 }
 
+// AppendIntraSkewTimes appends the raw intra-layer skews |t_{ℓ,i} −
+// t_{ℓ,i+1}| of all layers ℓ ≥ 1 to out, in the same pair order as
+// IntraSkews but without the nanosecond conversion. Paired with
+// stats.SummarizeScaled it yields the exact IntraSkews summary while
+// letting hot paths sort integers and reuse one scratch buffer.
+func (w *Wave) AppendIntraSkewTimes(out []sim.Time) []sim.Time {
+	for l := 1; l < w.G.NumLayers(); l++ {
+		for _, n := range w.G.Layer(l) {
+			r, ok := w.G.RightNeighbor(n)
+			if !ok || !w.Valid(n) || !w.Valid(r) {
+				continue
+			}
+			out = append(out, sim.AbsTime(w.T[n]-w.T[r]))
+		}
+	}
+	return out
+}
+
+// AppendInterSkewTimes is AppendIntraSkewTimes's counterpart for the
+// signed inter-layer skews of InterSkews.
+func (w *Wave) AppendInterSkewTimes(out []sim.Time) []sim.Time {
+	for l := 1; l < w.G.NumLayers(); l++ {
+		for _, n := range w.G.Layer(l) {
+			if !w.Valid(n) {
+				continue
+			}
+			if ll, ok := w.G.LowerLeftNeighbor(n); ok && w.Valid(ll) {
+				out = append(out, w.T[n]-w.T[ll])
+			}
+			if lr, ok := w.G.LowerRightNeighbor(n); ok && w.Valid(lr) {
+				out = append(out, w.T[n]-w.T[lr])
+			}
+		}
+	}
+	return out
+}
+
 // InterSkews returns the signed inter-layer skews t_{ℓ,i} − t_{ℓ−1,i} and
 // t_{ℓ,i} − t_{ℓ−1,i+1} in nanoseconds over all layers ℓ ≥ 1, dropping
 // pairs with excluded or untriggered nodes. The sign is kept because the

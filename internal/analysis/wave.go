@@ -60,6 +60,24 @@ func WaveFromResult(g *grid.Graph, res *core.Result, plan *fault.Plan, pulse int
 	return w
 }
 
+// WaveFromFirstTriggers extracts the single-pulse wave from a compact
+// FirstTriggerOnly result (core.Config.FirstTriggerOnly): node n's time
+// is FirstTriggers[n] unless it is core.NoTrigger. Because NoTrigger and
+// Missing share a value, the copy is direct. For the same Config, the
+// wave is bit-identical to WaveFromResult(g, fullRes, plan, 0) — the
+// aggregate execution mode's differential test pins this.
+func WaveFromFirstTriggers(g *grid.Graph, res *core.Result, plan *fault.Plan) *Wave {
+	w := NewWave(g)
+	for n := 0; n < g.NumNodes(); n++ {
+		if plan.IsFaulty(n) {
+			w.Excluded[n] = true
+			continue
+		}
+		w.T[n] = res.FirstTriggers[n]
+	}
+	return w
+}
+
 // Valid reports whether node n carries a usable triggering time.
 func (w *Wave) Valid(n int) bool { return !w.Excluded[n] && w.T[n] != Missing }
 

@@ -235,3 +235,29 @@ func TestWaveFromResult(t *testing.T) {
 		t.Error("completeness check failed")
 	}
 }
+
+// TestSkewTimesMatchFloatSkews: the raw-Time skew extractors walk pairs in
+// the same order as the float versions, so converting their output must
+// reproduce IntraSkews/InterSkews element for element. Combined with
+// stats.SummarizeScaled's differential test this closes the chain that
+// lets hot paths summarize integer skews without changing any record.
+func TestSkewTimesMatchFloatSkews(t *testing.T) {
+	h := grid.MustHex(4, 6)
+	w := flatWave(h, 0, 8000, 137)
+	w.T[h.NodeID(2, 3)] = Missing
+	w.Excluded[h.NodeID(1, 5)] = true
+
+	check := func(name string, ts []sim.Time, fs []float64) {
+		t.Helper()
+		if len(ts) != len(fs) {
+			t.Fatalf("%s: %d raw skews vs %d float skews", name, len(ts), len(fs))
+		}
+		for i := range ts {
+			if got := ts[i].Nanoseconds(); got != fs[i] {
+				t.Fatalf("%s[%d]: raw %v ns vs float %v", name, i, got, fs[i])
+			}
+		}
+	}
+	check("intra", w.AppendIntraSkewTimes(nil), w.IntraSkews())
+	check("inter", w.AppendInterSkewTimes(nil), w.InterSkews())
+}

@@ -218,6 +218,84 @@ func (c *Coalescer) Do(ctx context.Context, timeout time.Duration, key string, c
 	return c.wait(ctx, f)
 }
 
+// DoInline answers key with the same tiering as Do — memory cache,
+// in-flight join, second tier — but executes a needed computation
+// synchronously on the caller's goroutine instead of submitting it to the
+// executor, and skips the Persist hook, reporting fresh=true instead so
+// the caller can persist the value itself. It exists for batched
+// execution: a batch job already occupies an executor worker, so its
+// units must not re-enter the bounded queue (self-deadlock at capacity),
+// and their persists are amortized by the batch into one group commit.
+// The computation runs on ctx directly — an inline flight has no detached
+// lifetime; joiners of other Do calls still ride on it.
+func (c *Coalescer) DoInline(ctx context.Context, key string, compute func(context.Context) (*Value, error)) (*Value, bool, error) {
+	tr := obs.FromContext(ctx)
+	if v, ok := c.cache.Get(key); ok {
+		tap(c.hooks.OnHit)
+		return v, false, nil
+	}
+	tap(c.hooks.OnMiss)
+	if f := c.join(key); f != nil {
+		tap(c.hooks.OnJoin)
+		tr.Note("join-inflight")
+		v, err := c.wait(ctx, f)
+		return v, false, err
+	}
+	if c.hooks.SecondTier != nil {
+		if v, ok := c.hooks.SecondTier(ctx, key); ok {
+			c.cache.Put(key, v)
+			return v, false, nil
+		}
+	}
+
+	c.mu.Lock()
+	if f, ok := c.inflight[key]; ok {
+		f.waiters++
+		c.mu.Unlock()
+		tap(c.hooks.OnJoin)
+		tr.Note("join-inflight")
+		v, err := c.wait(ctx, f)
+		return v, false, err
+	}
+	if v, ok := c.cache.Get(key); ok {
+		c.mu.Unlock()
+		tap(c.hooks.OnHit)
+		return v, false, nil
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrShuttingDown
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = compute(fctx)
+	cancel()
+	if f.err == nil {
+		c.cache.Put(key, f.val)
+	}
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, f.err == nil, f.err
+}
+
+// SubmitDetached schedules run on the executor under the coalescer's
+// lock, keeping the closed-check/enqueue pair atomic with Close exactly
+// like a Do-initiated submission. Batch jobs use it to claim one executor
+// slot for a whole group of inline computations.
+func (c *Coalescer) SubmitDetached(run func()) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrShuttingDown
+	}
+	return c.hooks.Submit(run)
+}
+
 // join registers the caller as a waiter on the key's in-flight
 // computation, returning nil when none exists.
 func (c *Coalescer) join(key string) *flight {

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// TestFirstTriggerOnlyMatchesFullSnapshot is the differential test for the
+// compact execution mode: for any config, FirstTriggers[n] must equal
+// Triggers[n][0] of the full run (or NoTrigger when node n never fired),
+// and Events/Horizon must be untouched by the mode flag.
+func TestFirstTriggerOnlyMatchesFullSnapshot(t *testing.T) {
+	h := grid.MustHex(15, 8)
+	cases := map[string]func(*Config){
+		"fault-free": nil,
+		"fail-silent": func(c *Config) {
+			placed, err := fault.PlaceRandom(h.Graph, 4, nil, sim.NewRNG(9), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := fault.NewPlan(h.NumNodes())
+			for _, n := range placed {
+				plan.SetBehavior(n, fault.FailSilent)
+			}
+			c.Faults = plan
+		},
+		"udminus-offsets": func(c *Config) {
+			c.Schedule = source.SinglePulse(source.Offsets(source.UniformDMinus, h.W, delay.Paper, sim.NewRNG(4)))
+		},
+	}
+	for name, mod := range cases {
+		full := runPulse(t, h, mod)
+		compact := runPulse(t, h, func(c *Config) {
+			if mod != nil {
+				mod(c)
+			}
+			c.FirstTriggerOnly = true
+		})
+		if compact.Triggers != nil {
+			t.Fatalf("%s: compact mode produced a full snapshot", name)
+		}
+		if len(compact.FirstTriggers) != h.NumNodes() {
+			t.Fatalf("%s: FirstTriggers has %d entries, want %d", name, len(compact.FirstTriggers), h.NumNodes())
+		}
+		if compact.Events != full.Events || compact.Horizon != full.Horizon {
+			t.Fatalf("%s: events/horizon diverged: compact (%d, %v) vs full (%d, %v)",
+				name, compact.Events, compact.Horizon, full.Events, full.Horizon)
+		}
+		for n := range compact.FirstTriggers {
+			want := NoTrigger
+			if ts := full.Triggers[n]; len(ts) > 0 {
+				want = ts[0]
+			}
+			if compact.FirstTriggers[n] != want {
+				t.Fatalf("%s: node %d first trigger %v, want %v", name, n, compact.FirstTriggers[n], want)
+			}
+		}
+	}
+}
+
+func TestFirstTriggerOnlyPreCancelled(t *testing.T) {
+	h := grid.MustHex(5, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(Config{
+		Graph:            h.Graph,
+		Params:           DefaultParams(),
+		Delay:            delay.Uniform{Bounds: delay.Paper},
+		Faults:           fault.NewPlan(h.NumNodes()),
+		Schedule:         source.SinglePulse(make([]sim.Time, h.W)),
+		Seed:             1,
+		Context:          ctx,
+		FirstTriggerOnly: true,
+	})
+	if err == nil {
+		t.Fatal("pre-cancelled run returned no error")
+	}
+	if len(res.FirstTriggers) != h.NumNodes() {
+		t.Fatalf("FirstTriggers has %d entries, want %d", len(res.FirstTriggers), h.NumNodes())
+	}
+	for n, ft := range res.FirstTriggers {
+		if ft != NoTrigger {
+			t.Fatalf("node %d has trigger %v in an empty result", n, ft)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/delay"
@@ -54,6 +55,16 @@ type Config struct {
 	// still observe how much work was done. A run that completes before
 	// cancellation is bit-identical to one without a Context.
 	Context context.Context
+	// FirstTriggerOnly selects the compact result shape for campaign
+	// workloads that only need single-pulse statistics: the Result carries
+	// FirstTriggers (one flat slice, node n's first triggering time or
+	// NoTrigger) instead of the full per-node Triggers histories, cutting
+	// the snapshot from one slice header per node to a single allocation.
+	// The simulation itself is untouched — FirstTriggers[n] equals
+	// Triggers[n][0] of the same Config bit-for-bit (pinned by a
+	// differential test) — so this is an output-shape knob, like Wedges is
+	// an engine knob.
+	FirstTriggerOnly bool
 	// OnTrigger, if non-nil, observes every trigger of a correct node.
 	OnTrigger func(node int, t sim.Time)
 	// Trace, if non-nil, observes all internal events (sends, deliveries,
@@ -64,14 +75,23 @@ type Config struct {
 // AutoWedges, as Config.Wedges, selects one wedge per available CPU.
 const AutoWedges = -1
 
+// NoTrigger marks a node without a triggering time in a FirstTriggers
+// slice. Its value equals analysis.Missing, so compact results flow into
+// wave statistics without translation.
+const NoTrigger sim.Time = math.MinInt64
+
 // Result holds the observables of one run. A Result owns its memory: it
 // never aliases arena storage, so it stays valid after the arena that
 // produced it is reused for another run.
 type Result struct {
 	// Triggers[n] lists the triggering times of node n in increasing
 	// order. Faulty nodes never trigger (their outputs are stuck and their
-	// times are excluded from all statistics, as in the paper).
+	// times are excluded from all statistics, as in the paper). Nil when
+	// the run was configured FirstTriggerOnly.
 	Triggers [][]sim.Time
+	// FirstTriggers[n] is node n's first triggering time, or NoTrigger.
+	// Populated instead of Triggers when Config.FirstTriggerOnly is set.
+	FirstTriggers []sim.Time
 	// Events is the number of simulation events executed.
 	Events uint64
 	// Horizon is the (possibly derived) end of simulated time.
@@ -228,7 +248,7 @@ func (nw *network) run(cfg Config) (*Result, error) {
 	if ctx := cfg.Context; ctx != nil {
 		if err := ctx.Err(); err != nil {
 			nw.release()
-			return &Result{Triggers: make([][]sim.Time, cfg.Graph.NumNodes())}, err
+			return emptyResult(cfg), err
 		}
 		stop := func() bool { return ctx.Err() != nil }
 		if nw.parRun {
@@ -255,9 +275,13 @@ func (nw *network) run(cfg Config) (*Result, error) {
 		interrupted = nw.eng.Interrupted()
 	}
 	res := &Result{
-		Triggers: nw.snapshotTriggers(),
-		Events:   events,
-		Horizon:  horizon,
+		Events:  events,
+		Horizon: horizon,
+	}
+	if cfg.FirstTriggerOnly {
+		res.FirstTriggers = nw.snapshotFirstTriggers()
+	} else {
+		res.Triggers = nw.snapshotTriggers()
 	}
 	nw.release()
 	if interrupted {
@@ -303,6 +327,36 @@ func (nw *network) snapshotTriggers() [][]sim.Time {
 		pos += n
 	}
 	return out
+}
+
+// snapshotFirstTriggers copies each node's first triggering time into one
+// flat caller-owned slice — the FirstTriggerOnly result shape. For a
+// single-pulse campaign run this replaces the per-node history headers of
+// snapshotTriggers with a single allocation.
+func (nw *network) snapshotFirstTriggers() []sim.Time {
+	out := make([]sim.Time, len(nw.triggers))
+	for i, ts := range nw.triggers {
+		if len(ts) == 0 {
+			out[i] = NoTrigger
+		} else {
+			out[i] = ts[0]
+		}
+	}
+	return out
+}
+
+// emptyResult is the zero-work Result of a run cancelled before it
+// started, in the shape the Config asked for.
+func emptyResult(cfg Config) *Result {
+	n := cfg.Graph.NumNodes()
+	if cfg.FirstTriggerOnly {
+		ft := make([]sim.Time, n)
+		for i := range ft {
+			ft[i] = NoTrigger
+		}
+		return &Result{FirstTriggers: ft}
+	}
+	return &Result{Triggers: make([][]sim.Time, n)}
 }
 
 // autoHorizon derives a stop time covering the last pulse's full traversal,

@@ -106,12 +106,14 @@ func (s Spec) runSeed(idx int) uint64 {
 		fmt.Sprintf("run%d", idx))
 }
 
-// buildGrid constructs the spec's topology.
+// buildGrid returns the spec's topology from the process-wide grid cache
+// (grid.Shared): a Graph is immutable after construction, so every run —
+// across sweeps, service requests, and campaigns — that agrees on
+// (topology, L, W) shares one grid, built once per process. The stable
+// pointer also keys arena reuse across the whole process instead of one
+// sweep.
 func (s Spec) buildGrid() (*grid.Hex, error) {
-	if s.HexPlus {
-		return grid.NewHexPlus(s.L, s.W)
-	}
-	return grid.NewHex(s.L, s.W)
+	return grid.Shared.Build(s.L, s.W, s.HexPlus)
 }
 
 // RunOne executes run number idx of the spec.

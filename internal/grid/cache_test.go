@@ -1,0 +1,151 @@
+package grid
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCacheMemoizesByShape(t *testing.T) {
+	c := NewCache(8)
+	a, err := c.Hex(5, 6)
+	if err != nil {
+		t.Fatalf("Hex(5,6): %v", err)
+	}
+	b, err := c.Hex(5, 6)
+	if err != nil {
+		t.Fatalf("Hex(5,6) again: %v", err)
+	}
+	if a != b {
+		t.Fatalf("same shape returned distinct grids: %p vs %p", a, b)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+
+	// Distinct shapes and distinct topologies get distinct entries.
+	p, err := c.HexPlus(5, 6)
+	if err != nil {
+		t.Fatalf("HexPlus(5,6): %v", err)
+	}
+	if p == a {
+		t.Fatal("HexPlus shares the plain-HEX entry")
+	}
+	d, err := c.Hex(5, 7)
+	if err != nil {
+		t.Fatalf("Hex(5,7): %v", err)
+	}
+	if d == a {
+		t.Fatal("Hex(5,7) shares the Hex(5,6) entry")
+	}
+	if got := c.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+}
+
+// TestCacheDifferentialFreshBuild pins that a cached grid is structurally
+// identical to a freshly constructed one: same dimensions, layers, link
+// sets, roles, and guard pairs. Together with Graph immutability this is
+// what makes cache sharing invisible to simulation results.
+func TestCacheDifferentialFreshBuild(t *testing.T) {
+	for _, plus := range []bool{false, true} {
+		cached, err := Shared.Build(7, 9, plus)
+		if err != nil {
+			t.Fatalf("cached build (plus=%t): %v", plus, err)
+		}
+		fresh, err := func() (*Hex, error) {
+			if plus {
+				return NewHexPlus(7, 9)
+			}
+			return NewHex(7, 9)
+		}()
+		if err != nil {
+			t.Fatalf("fresh build (plus=%t): %v", plus, err)
+		}
+		if cached.L != fresh.L || cached.W != fresh.W {
+			t.Fatalf("plus=%t: dims (%d,%d) != fresh (%d,%d)",
+				plus, cached.L, cached.W, fresh.L, fresh.W)
+		}
+		if cached.NumNodes() != fresh.NumNodes() || cached.NumLayers() != fresh.NumLayers() {
+			t.Fatalf("plus=%t: node/layer counts differ", plus)
+		}
+		for n := 0; n < fresh.NumNodes(); n++ {
+			if !reflect.DeepEqual(cached.In(n), fresh.In(n)) {
+				t.Fatalf("plus=%t: In(%d) differs", plus, n)
+			}
+			if !reflect.DeepEqual(cached.Out(n), fresh.Out(n)) {
+				t.Fatalf("plus=%t: Out(%d) differs", plus, n)
+			}
+		}
+		if !reflect.DeepEqual(cached.GuardPairs(), fresh.GuardPairs()) {
+			t.Fatalf("plus=%t: guard pairs differ", plus)
+		}
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(8)
+	if _, err := c.Hex(0, 20); err == nil {
+		t.Fatal("Hex(0,20) succeeded, want error")
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("failed build left %d cache entries", got)
+	}
+	// A failed shape can be retried (here still invalid, but the path is
+	// a fresh build, not a cached error).
+	if _, err := c.Hex(0, 20); err == nil {
+		t.Fatal("retry of invalid shape succeeded")
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	c := NewCache(2)
+	for w := 3; w <= 6; w++ {
+		if _, err := c.Hex(2, w); err != nil {
+			t.Fatalf("Hex(2,%d): %v", w, err)
+		}
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d after churn, want bound 2", got)
+	}
+	// The most recent shapes survive; re-requesting one is a hit.
+	before, _ := c.Stats()
+	if _, err := c.Hex(2, 6); err != nil {
+		t.Fatalf("Hex(2,6): %v", err)
+	}
+	if after, _ := c.Stats(); after != before+1 {
+		t.Fatalf("most-recent shape was evicted (hits %d → %d)", before, after)
+	}
+}
+
+// TestCacheConcurrentSingleflight hammers one shape from many goroutines:
+// everyone must get the same pointer, and the build must happen once
+// (misses == 1). Run under -race this also proves lookups and builds
+// don't trample each other.
+func TestCacheConcurrentSingleflight(t *testing.T) {
+	c := NewCache(8)
+	const goroutines = 32
+	grids := make([]*Hex, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := c.Hex(10, 8)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			grids[i] = h
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if grids[i] != grids[0] {
+			t.Fatalf("goroutine %d got a different grid pointer", i)
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 build", misses)
+	}
+}

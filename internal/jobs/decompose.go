@@ -45,6 +45,21 @@ type SweepSpec struct {
 	Seeds     []uint64 `json:"seeds,omitempty"`
 	SeedStart uint64   `json:"seed_start,omitempty"`
 	SeedCount int      `json:"seed_count,omitempty"`
+	// Output is each unit's output format — any format POST /v1/run
+	// accepts ("stats" default, "csv", "svg", or the compact binary
+	// "agg"). Campaigns that only need skew statistics run "agg": the
+	// simulation skips the full per-node trigger snapshot and each unit's
+	// record shrinks to a fixed-size HXA1 frame.
+	Output string `json:"output,omitempty"`
+	// Batch packs this many consecutive units into one scheduled batch
+	// (default 1 = per-unit scheduling). A batch occupies one scheduler
+	// dispatch, one worker, one trace, and one store group commit, so
+	// per-unit fixed costs amortize Batch-fold; the WFQ scheduler charges
+	// the tenant for the batch's full unit count, so batching never buys
+	// extra scheduler share. Each unit keeps its canonical per-run key and
+	// fans out its own result event. Ignored (per-unit scheduling) when
+	// the runner cannot execute batches, e.g. the cluster router.
+	Batch int `json:"batch,omitempty"`
 	// Tenant names the client for weighted fair queueing (default
 	// "default"). Units of all jobs submitted under one tenant share that
 	// tenant's scheduler queue.
@@ -92,6 +107,12 @@ func (sp *SweepSpec) Normalize(maxUnits int) error {
 		// a range from 0 would collide with its own second element; start
 		// ranges at the first distinct seed instead.
 		sp.SeedStart = 1
+	}
+	if sp.Batch == 0 {
+		sp.Batch = 1
+	}
+	if sp.Batch < 1 || sp.Batch > maxUnits {
+		return fmt.Errorf("batch must be in [1, %d]; got %d", maxUnits, sp.Batch)
 	}
 	if sp.Tenant == "" {
 		sp.Tenant = "default"
@@ -154,6 +175,7 @@ func (sp *SweepSpec) Decompose(opts service.Options) ([]Unit, error) {
 					FaultType: sp.FaultType,
 					Seed:      seed,
 					HexPlus:   sp.HexPlus,
+					Output:    sp.Output,
 					TimeoutMs: sp.TimeoutMs,
 				}
 				if err := req.Normalize(opts); err != nil {
@@ -182,7 +204,10 @@ const jobKeyPrefix = "job:"
 // deterministic, so a restart re-derives the same ID from the persisted
 // spec (clients' event-stream URLs survive the restart), and an
 // identical re-submission lands on the existing job instead of running
-// the sweep twice.
+// the sweep twice. Batch is deliberately excluded: like core wedge
+// parallelism, it changes how the work executes, never what the work is
+// (unit keys already capture Output), and excluding it keeps IDs of
+// records persisted before the field existed re-derivable.
 func JobID(sp SweepSpec, units []Unit) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "sweep|v1|tenant=%s|w=%d|to=%d|", sp.Tenant, sp.Weight, sp.TimeoutMs)

@@ -22,6 +22,7 @@ const heartbeatEvery = 15 * time.Second
 func (m *Manager) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/sweeps", m.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", m.handleStatus)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", m.handleCancel)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", m.handleEvents)
 }
 
@@ -104,11 +105,15 @@ type statusResponse struct {
 	Running int    `json:"running"`
 	Done    int    `json:"done"`
 	Failed  int    `json:"failed"`
+	// Cancelled counts units terminated by DELETE before they ran.
+	Cancelled int `json:"cancelled,omitempty"`
 	// Resumed reports the job was re-materialized from the durable store
 	// after a restart; finished units then complete as store hits.
-	Resumed   bool   `json:"resumed,omitempty"`
-	Complete  bool   `json:"complete"`
-	RequestID string `json:"request_id"`
+	Resumed bool `json:"resumed,omitempty"`
+	// JobCancelled reports the job was terminated by DELETE.
+	JobCancelled bool   `json:"job_cancelled,omitempty"`
+	Complete     bool   `json:"complete"`
+	RequestID    string `json:"request_id"`
 }
 
 func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -118,22 +123,45 @@ func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown sweep job", rid)
 		return
 	}
-	pending, running, done, failed := job.Counts()
+	pending, running, done, failed, cancelled := job.CountsWithCancelled()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(statusResponse{
-		ID:        job.ID,
-		Epoch:     job.Epoch,
-		Tenant:    job.Spec.Tenant,
-		Weight:    job.Spec.Weight,
-		Units:     len(job.Units),
-		Pending:   pending,
-		Running:   running,
-		Done:      done,
-		Failed:    failed,
-		Resumed:   job.Resumed,
-		Complete:  job.Done(),
-		RequestID: rid,
+		ID:           job.ID,
+		Epoch:        job.Epoch,
+		Tenant:       job.Spec.Tenant,
+		Weight:       job.Spec.Weight,
+		Units:        len(job.Units),
+		Pending:      pending,
+		Running:      running,
+		Done:         done,
+		Failed:       failed,
+		Cancelled:    cancelled,
+		Resumed:      job.Resumed,
+		JobCancelled: job.Cancelled(),
+		Complete:     job.Done(),
+		RequestID:    rid,
 	})
+}
+
+// cancelResponse is the DELETE /v1/sweeps/{id} reply.
+type cancelResponse struct {
+	ID string `json:"id"`
+	// Cancelled reports this request did the cancelling; false means the
+	// job had already finished or was already cancelled (the DELETE is
+	// idempotent either way).
+	Cancelled bool   `json:"cancelled"`
+	RequestID string `json:"request_id"`
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rid := reqID(w, r)
+	job, found, cancelled := m.Cancel(r.PathValue("id"))
+	if !found {
+		writeError(w, http.StatusNotFound, "unknown sweep job", rid)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(cancelResponse{ID: job.ID, Cancelled: cancelled, RequestID: rid})
 }
 
 // resumeSeq decides where an event stream starts: at the event after the
@@ -200,8 +228,13 @@ func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 		if done {
-			_, _, doneN, failed := job.Counts()
-			fmt.Fprintf(w, "event: done\ndata: {\"done\":%d,\"failed\":%d}\n\n", doneN, failed)
+			_, _, doneN, failed, cancelled := job.CountsWithCancelled()
+			if job.Cancelled() {
+				fmt.Fprintf(w, "event: cancelled\ndata: {\"done\":%d,\"failed\":%d,\"cancelled\":%d}\n\n",
+					doneN, failed, cancelled)
+			} else {
+				fmt.Fprintf(w, "event: done\ndata: {\"done\":%d,\"failed\":%d}\n\n", doneN, failed)
+			}
 			flusher.Flush()
 			return
 		}

@@ -45,6 +45,16 @@ type Runner interface {
 	RunUnit(ctx context.Context, timeout time.Duration, req service.RunRequest) (*coalesce.Value, error)
 }
 
+// BatchRunner is the optional batched extension of Runner: executing k
+// units as one scheduled job so their fixed costs (queue round-trip,
+// trace, store fsyncs) are paid once. A backend's *service.Service
+// implements it (RunUnits); the cluster router does not — its units
+// scatter across shards — so the manager falls back to per-unit
+// scheduling when the Runner lacks this interface.
+type BatchRunner interface {
+	RunUnits(ctx context.Context, timeout time.Duration, reqs []service.RunRequest) ([]*coalesce.Value, []error)
+}
+
 // Options configure a Manager. Runner is required; the zero value of
 // every other field selects a sane default.
 type Options struct {
@@ -112,6 +122,7 @@ const (
 	unitRunning
 	unitDone
 	unitFailed
+	unitCancelled
 )
 
 // Event is one completed unit, in completion order. It is both the SSE
@@ -156,11 +167,19 @@ type Job struct {
 	// Resumed reports the job was re-materialized by Recover.
 	Resumed bool
 
+	// cancelCtx is done once the job is cancelled; in-flight unit
+	// contexts are derived-from-or-bridged-to it so DELETE interrupts
+	// simulations mid-run, not just queued units.
+	cancelCtx context.Context
+	cancelFn  context.CancelFunc
+
 	mu         sync.Mutex
 	state      []unitState
 	events     []Event
 	done       bool
+	cancelled  bool
 	failed     int
+	nCancelled int           // units cancelled before running (no event)
 	hits       int           // units answered without simulation (cache/store)
 	change     chan struct{} // closed and replaced on every append/finish
 	created    time.Time
@@ -169,15 +188,18 @@ type Job struct {
 
 // newJob materializes a job with every unit pending.
 func newJob(id string, spec SweepSpec, units []Unit, resumed bool) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Job{
-		ID:      id,
-		Epoch:   obs.NewRequestID(),
-		Spec:    spec,
-		Units:   units,
-		Resumed: resumed,
-		state:   make([]unitState, len(units)),
-		change:  make(chan struct{}),
-		created: time.Now(),
+		ID:        id,
+		Epoch:     obs.NewRequestID(),
+		Spec:      spec,
+		Units:     units,
+		Resumed:   resumed,
+		cancelCtx: ctx,
+		cancelFn:  cancel,
+		state:     make([]unitState, len(units)),
+		change:    make(chan struct{}),
+		created:   time.Now(),
 	}
 }
 
@@ -190,6 +212,12 @@ func (j *Job) Done() bool {
 
 // Counts returns the job's unit-state tally.
 func (j *Job) Counts() (pending, running, done, failed int) {
+	p, r, d, f, _ := j.CountsWithCancelled()
+	return p, r, d, f
+}
+
+// CountsWithCancelled returns the tally including cancelled units.
+func (j *Job) CountsWithCancelled() (pending, running, done, failed, cancelled int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	for _, st := range j.state {
@@ -202,9 +230,54 @@ func (j *Job) Counts() (pending, running, done, failed int) {
 			done++
 		case unitFailed:
 			failed++
+		case unitCancelled:
+			cancelled++
 		}
 	}
 	return
+}
+
+// Cancelled reports whether the job was cancelled.
+func (j *Job) Cancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelled
+}
+
+// cancelNow flips the job to cancelled: every still-pending unit is
+// terminally cancelled without an event (its scheduler dispatch becomes a
+// no-op), the job's cancel context fires so in-flight unit contexts
+// collapse, and subscribers wake. It reports false when the job already
+// finished or was already cancelled (idempotent DELETE). In-flight units
+// stay "running" until their cancelled contexts surface — the job turns
+// done when the last of them completes, or immediately when none are in
+// flight.
+func (j *Job) cancelNow() bool {
+	j.mu.Lock()
+	if j.done || j.cancelled {
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelled = true
+	running := 0
+	for i, st := range j.state {
+		switch st {
+		case unitPending:
+			j.state[i] = unitCancelled
+			j.nCancelled++
+		case unitRunning:
+			running++
+		}
+	}
+	if running == 0 {
+		j.done = true
+		j.finishedAt = time.Now()
+	}
+	close(j.change)
+	j.change = make(chan struct{})
+	j.mu.Unlock()
+	j.cancelFn()
+	return true
 }
 
 // eventsAfter snapshots the completion log past seq, plus the current
@@ -241,12 +314,19 @@ func (j *Job) complete(unit int, val *coalesce.Value, hit bool, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	ev := Event{Seq: len(j.events) + 1, Unit: unit, Key: j.Units[unit].Key, Status: "done"}
-	if err != nil {
+	switch {
+	case err != nil && j.cancelled && errors.Is(err, context.Canceled):
+		// An in-flight unit interrupted by DELETE is cancelled, not
+		// failed: it carries no defect, and a later re-submission of the
+		// same spec should re-run it.
+		j.state[unit] = unitCancelled
+		ev.Status = "cancelled"
+	case err != nil:
 		j.state[unit] = unitFailed
 		j.failed++
 		ev.Status = "failed"
 		ev.Error = err.Error()
-	} else {
+	default:
 		j.state[unit] = unitDone
 		if hit {
 			j.hits++
@@ -260,7 +340,9 @@ func (j *Job) complete(unit int, val *coalesce.Value, hit bool, err error) {
 		})
 	}
 	j.events = append(j.events, ev)
-	if len(j.events) == len(j.Units) {
+	// Cancelled-before-running units produce no event, so the job is done
+	// when events plus those units cover the decomposition.
+	if len(j.events)+j.nCancelled == len(j.Units) {
 		j.done = true
 		j.finishedAt = time.Now()
 	}
@@ -377,15 +459,54 @@ func (m *Manager) submit(spec SweepSpec, resumed bool) (*Job, bool, error) {
 		m.Metrics.JobsResumed.Inc()
 	}
 	m.Metrics.UnitsPlanned.Add(uint64(len(units)))
-	for i := range units {
-		unit := i
-		m.sched.enqueue(spec.Tenant, spec.Weight, func(ctx context.Context) {
-			m.runUnit(ctx, j, unit)
-		})
+	if br, ok := m.opts.Runner.(BatchRunner); ok && spec.Batch > 1 {
+		// Batched dispatch: consecutive decomposition slices become one
+		// scheduler task each, charged for their full unit count (see
+		// enqueueN) so batching amortizes overhead without buying share.
+		for lo := 0; lo < len(units); lo += spec.Batch {
+			lo, hi := lo, min(lo+spec.Batch, len(units))
+			m.sched.enqueueN(spec.Tenant, spec.Weight, hi-lo, func(ctx context.Context) {
+				m.runBatch(ctx, j, lo, hi, br)
+			})
+		}
+	} else {
+		for i := range units {
+			unit := i
+			m.sched.enqueue(spec.Tenant, spec.Weight, func(ctx context.Context) {
+				m.runUnit(ctx, j, unit)
+			})
+		}
 	}
 	m.opts.Logger.Info("sweep accepted", "job", id, "units", len(units),
-		"tenant", spec.Tenant, "weight", spec.Weight, "resumed", resumed)
+		"tenant", spec.Tenant, "weight", spec.Weight, "batch", spec.Batch, "resumed", resumed)
 	return j, false, nil
+}
+
+// Cancel terminates the job: queued units are cancelled in place, the
+// job's cancel context interrupts in-flight simulations, the durable job
+// record is deleted so the next boot does not resume it, and every event
+// stream ends with a terminal "cancelled" frame. found reports whether
+// the job exists; cancelled whether this call did the cancelling (false
+// on repeat DELETEs and on already-finished jobs — the operation is
+// idempotent).
+func (m *Manager) Cancel(id string) (j *Job, found, cancelled bool) {
+	j, found = m.Job(id)
+	if !found {
+		return nil, false, false
+	}
+	if !j.cancelNow() {
+		return j, true, false
+	}
+	m.Metrics.JobsCancelled.Inc()
+	j.mu.Lock()
+	queued := j.nCancelled
+	j.mu.Unlock()
+	m.Metrics.UnitsCancelled.Add(uint64(queued))
+	if m.opts.Store != nil {
+		m.opts.Store.Delete(storeKey(id))
+	}
+	m.opts.Logger.Info("sweep cancelled", "job", id, "queued_units", queued)
+	return j, true, true
 }
 
 // evictLocked drops the oldest finished jobs beyond MaxJobs. Callers
@@ -503,30 +624,145 @@ func (m *Manager) runUnit(ctx context.Context, j *Job, unit int) {
 
 	uctx, cancel := context.WithTimeout(obs.WithTrace(ctx, tr), timeout)
 	defer cancel()
+	// Bridge the job's DELETE cancellation into this unit's context so an
+	// in-flight simulation stops mid-run instead of running to completion.
+	stop := context.AfterFunc(j.cancelCtx, cancel)
+	defer stop()
 	val, err := m.runWithRetry(uctx, timeout, u.Req)
 	hit := err == nil && val != nil && traceSawHit(tr)
 	j.complete(unit, val, hit, err)
 	status := 200
-	if err != nil {
+	switch {
+	case err != nil && j.Cancelled() && errors.Is(err, context.Canceled):
+		status = 499 // client closed request; nobody is waiting for this unit
+		m.Metrics.UnitsCancelled.Inc()
+	case err != nil:
 		status = 500
 		m.Metrics.UnitsFailed.Inc()
 		m.opts.Logger.Warn("sweep unit failed", "job", j.ID, "unit", unit,
 			"key", u.Key, "err", err.Error())
-	} else {
+	default:
 		m.Metrics.UnitsDone.Inc()
 	}
 	tr.Finish(status, err)
 	if m.opts.Trace != nil {
 		m.opts.Trace.Add(tr)
 	}
-	if j.Done() {
-		m.Metrics.JobsCompleted.Inc()
-		m.retire(j)
-		p, r, done, failed := j.Counts()
-		_ = p
-		_ = r
-		m.opts.Logger.Info("sweep finished", "job", j.ID, "done", done, "failed", failed)
+	m.finishIfDone(j)
+}
+
+// runBatch executes units [lo, hi) of the job as ONE runner batch: one
+// scheduler dispatch, one trace, one worker occupation, one store group
+// commit — the per-unit fixed costs that dominate campaigns of small
+// runs, paid once and amortized across the slice. Each unit still
+// completes individually (own event, own canonical key). It runs on a
+// scheduler dispatch slot.
+func (m *Manager) runBatch(ctx context.Context, j *Job, lo, hi int, br BatchRunner) {
+	reqs := make([]service.RunRequest, 0, hi-lo)
+	idx := make([]int, 0, hi-lo)
+	for u := lo; u < hi; u++ {
+		if j.markRunning(u) {
+			reqs = append(reqs, j.Units[u].Req)
+			idx = append(idx, u)
+		}
 	}
+	if len(reqs) == 0 {
+		return
+	}
+	// The batch's deadline scales with its size — each unit keeps its
+	// per-unit time budget — clamped to the same ceiling as any request.
+	unitTimeout := service.RequestTimeout(reqs[0].TimeoutMs, m.opts.Service)
+	timeout := unitTimeout * time.Duration(len(reqs))
+	if timeout > m.opts.Service.MaxTimeout {
+		timeout = m.opts.Service.MaxTimeout
+	}
+	tr := obs.NewTrace(obs.NewRequestID(), "sweep-batch")
+	tr.SetAttr("job", j.ID)
+	tr.SetAttr("units", fmt.Sprintf("%d-%d", lo, hi-1))
+	tr.SetAttr("tenant", j.Spec.Tenant)
+	m.Metrics.UnitsInFlight.Add(int64(len(reqs)))
+	defer m.Metrics.UnitsInFlight.Add(-int64(len(reqs)))
+
+	bctx, cancel := context.WithTimeout(obs.WithTrace(ctx, tr), timeout)
+	defer cancel()
+	stop := context.AfterFunc(j.cancelCtx, cancel)
+	defer stop()
+	vals, errs := m.runBatchWithRetry(bctx, timeout, reqs, br)
+	failed := 0
+	for i, u := range idx {
+		j.complete(u, vals[i], false, errs[i])
+		switch {
+		case errs[i] != nil && j.Cancelled() && errors.Is(errs[i], context.Canceled):
+			m.Metrics.UnitsCancelled.Inc()
+		case errs[i] != nil:
+			failed++
+			m.Metrics.UnitsFailed.Inc()
+			m.opts.Logger.Warn("sweep unit failed", "job", j.ID, "unit", u,
+				"key", j.Units[u].Key, "err", errs[i].Error())
+		default:
+			m.Metrics.UnitsDone.Inc()
+		}
+	}
+	status := 200
+	var err error
+	if failed > 0 {
+		status = 500
+		err = fmt.Errorf("%d of %d batch units failed", failed, len(idx))
+	}
+	tr.Finish(status, err)
+	if m.opts.Trace != nil {
+		m.opts.Trace.Add(tr)
+	}
+	m.finishIfDone(j)
+}
+
+// runBatchWithRetry runs the batch, absorbing whole-batch retryable
+// rejections (a full worker queue fails submission for every unit alike)
+// with the same backoff loop as single units. Partial outcomes — any
+// unit succeeded or failed terminally — are returned as-is.
+func (m *Manager) runBatchWithRetry(ctx context.Context, timeout time.Duration, reqs []service.RunRequest, br BatchRunner) ([]*coalesce.Value, []error) {
+	backoff := 2 * time.Millisecond
+	for {
+		vals, errs := br.RunUnits(ctx, timeout, reqs)
+		allRetryable := true
+		for _, err := range errs {
+			if err == nil || !m.opts.Retryable(err) {
+				allRetryable = false
+				break
+			}
+		}
+		if !allRetryable || ctx.Err() != nil {
+			return vals, errs
+		}
+		m.Metrics.UnitRetries.Add(uint64(len(reqs)))
+		select {
+		case <-ctx.Done():
+			return vals, errs
+		case <-time.After(backoff):
+		}
+		if backoff < 200*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// finishIfDone runs the end-of-job bookkeeping once the last unit lands.
+func (m *Manager) finishIfDone(j *Job) {
+	if !j.Done() {
+		return
+	}
+	_, _, done, failed, cancelled := j.CountsWithCancelled()
+	if j.Cancelled() {
+		// Cancel already counted the job and deleted its record; the last
+		// in-flight unit only closes the books.
+		m.opts.Logger.Info("sweep cancelled units drained", "job", j.ID,
+			"done", done, "failed", failed, "cancelled", cancelled)
+		return
+	}
+	m.Metrics.JobsCompleted.Inc()
+	m.retire(j)
+	m.opts.Logger.Info("sweep finished", "job", j.ID,
+		"done", done, "failed", failed, "cancelled", cancelled)
 }
 
 // runWithRetry runs the unit, absorbing queue-full rejections with

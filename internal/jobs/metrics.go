@@ -17,13 +17,17 @@ type Metrics struct {
 	JobsSubmitted Counter
 	JobsResumed   Counter
 	JobsCompleted Counter
+	// JobsCancelled counts jobs terminated by DELETE /v1/sweeps/{id}.
+	JobsCancelled Counter
 	// UnitsPlanned counts decomposed units across all accepted jobs;
-	// UnitsDone/UnitsFailed their terminal outcomes; UnitRetries
+	// UnitsDone/UnitsFailed their terminal outcomes; UnitsCancelled units
+	// terminated by job cancellation (queued or in-flight); UnitRetries
 	// queue-full rejections absorbed by the unit retry loop.
-	UnitsPlanned Counter
-	UnitsDone    Counter
-	UnitsFailed  Counter
-	UnitRetries  Counter
+	UnitsPlanned   Counter
+	UnitsDone      Counter
+	UnitsFailed    Counter
+	UnitsCancelled Counter
+	UnitRetries    Counter
 	// UnitsInFlight gauges units currently dispatched into the Runner.
 	UnitsInFlight Gauge
 }
@@ -55,9 +59,11 @@ func (m *Metrics) WriteText(w io.Writer) {
 	counter("hexd_sweep_jobs_submitted_total", "Sweep jobs accepted (including resumed).", m.JobsSubmitted.Load())
 	counter("hexd_sweep_jobs_resumed_total", "Sweep jobs re-materialized from the durable store on boot.", m.JobsResumed.Load())
 	counter("hexd_sweep_jobs_completed_total", "Sweep jobs whose every unit reached a terminal state.", m.JobsCompleted.Load())
+	counter("hexd_sweep_jobs_cancelled_total", "Sweep jobs terminated by DELETE /v1/sweeps/{id}.", m.JobsCancelled.Load())
 	counter("hexd_sweep_units_planned_total", "Work units decomposed across all accepted sweep jobs.", m.UnitsPlanned.Load())
 	counter("hexd_sweep_units_done_total", "Sweep units completed successfully.", m.UnitsDone.Load())
 	counter("hexd_sweep_units_failed_total", "Sweep units that reached a terminal failure.", m.UnitsFailed.Load())
+	counter("hexd_sweep_units_cancelled_total", "Sweep units terminated by job cancellation (queued or in-flight).", m.UnitsCancelled.Load())
 	counter("hexd_sweep_unit_retries_total", "Queue-full rejections absorbed by the sweep unit retry loop.", m.UnitRetries.Load())
 	fmt.Fprintf(w, "# HELP hexd_sweep_units_inflight Sweep units currently dispatched into the runner.\n"+
 		"# TYPE hexd_sweep_units_inflight gauge\nhexd_sweep_units_inflight %d\n", m.UnitsInFlight.Load())

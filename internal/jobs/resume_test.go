@@ -2,10 +2,13 @@ package jobs
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/coalesce"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -39,6 +42,28 @@ func doneBodies(t *testing.T, j *Job) map[string][]byte {
 	return out
 }
 
+// cutRunner passes its first cut units through to the real service and
+// parks every later unit on its context: the deterministic stand-in for
+// a process dying mid-sweep with work still queued.
+type cutRunner struct {
+	inner Runner
+	mu    sync.Mutex
+	n     int
+	cut   int
+}
+
+func (c *cutRunner) RunUnit(ctx context.Context, timeout time.Duration, req service.RunRequest) (*coalesce.Value, error) {
+	c.mu.Lock()
+	idx := c.n
+	c.n++
+	c.mu.Unlock()
+	if idx >= c.cut {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return c.inner.RunUnit(ctx, timeout, req)
+}
+
 // TestSweepCrashRestartRecomputesOnlyTheGap is the acceptance scenario
 // for durable jobs: kill the process at a randomized point mid-sweep,
 // restart over the same store directory, and prove — through the
@@ -53,25 +78,25 @@ func TestSweepCrashRestartRecomputesOnlyTheGap(t *testing.T) {
 	}
 	const units = 2 * 4
 
-	// First life: single-dispatch so the kill point is precise (at most
-	// one unit is mid-flight when the manager dies).
+	// First life: kill at a randomized point strictly inside the sweep.
+	// The cut is enforced by the runner itself — units past it park on
+	// their context until Close cancels them — because enforcing it by
+	// timing is hopeless: cached-grid units finish in microseconds, so a
+	// whole small sweep can complete between a poll observing `cut` done
+	// units and the Close landing.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	cut := 1 + rng.Intn(units-2)
+	t.Logf("killing after %d of %d units", cut, units)
 	st1 := openStore(t, dir)
 	svc1 := service.New(service.Options{Workers: 2, Store: st1, Logger: quiet()})
 	mgr1 := NewManager(Options{
-		Runner: svc1, Service: svc1.Options(), Store: st1,
+		Runner: &cutRunner{inner: svc1, cut: cut}, Service: svc1.Options(), Store: st1,
 		MaxInFlight: 1, Logger: quiet(),
 	})
 	j1, existing, err := mgr1.Submit(spec)
 	if err != nil || existing {
 		t.Fatalf("submit: %v (existing=%v)", err, existing)
 	}
-
-	// Kill at a randomized point strictly inside the sweep. The cut is
-	// capped below units-1 so that even if the one in-flight unit races
-	// its cancellation and completes, the job cannot finish in life one.
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	cut := 1 + rng.Intn(units-2)
-	t.Logf("killing after %d of %d units", cut, units)
 	waitFor(t, func() bool { _, _, done, _ := j1.Counts(); return done >= cut })
 	mgr1.Close()
 

@@ -75,8 +75,20 @@ func newScheduler(maxInflight int) *scheduler {
 // task silently — the manager is shutting down and its jobs are about to
 // lose their unit contexts anyway.
 func (s *scheduler) enqueue(tenant string, weight int, run func(ctx context.Context)) {
+	s.enqueueN(tenant, weight, 1, run)
+}
+
+// enqueueN enqueues one task that represents k units of work: its finish
+// tag advances the tenant's virtual time by k/weight instead of 1/weight,
+// so a tenant submitting batches of k is charged exactly as if it had
+// enqueued k singles — batching amortizes dispatch overhead without
+// buying extra scheduler share. TestWFQBatchFairness pins this.
+func (s *scheduler) enqueueN(tenant string, weight, k int, run func(ctx context.Context)) {
 	if weight < 1 {
 		weight = 1
+	}
+	if k < 1 {
+		k = 1
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -90,7 +102,7 @@ func (s *scheduler) enqueue(tenant string, weight int, run func(ctx context.Cont
 	}
 	tq.weight = weight
 	start := max(s.vtime, tq.lastFinish)
-	finish := start + 1/float64(weight)
+	finish := start + float64(k)/float64(weight)
 	tq.lastFinish = finish
 	tq.queue = append(tq.queue, task{run: run, start: start, finish: finish})
 	s.pending++

@@ -241,3 +241,60 @@ func TestSchedulerCloseCancelsRunning(t *testing.T) {
 	// Enqueue after close is a silent no-op, not a panic.
 	s.enqueue("a", 1, func(ctx context.Context) {})
 }
+
+// TestWFQBatchFairness pins enqueueN's accounting: a task representing k
+// units advances its tenant's virtual time by k/weight, so a tenant that
+// batches gets exactly the same long-run unit share as one submitting
+// singles — batching amortizes dispatch overhead, never buys bandwidth.
+// With one dispatch slot and all work enqueued up front, the order is a
+// pure function of the tags: at no prefix may the unit imbalance between
+// the two equal-weight tenants exceed one batch.
+func TestWFQBatchFairness(t *testing.T) {
+	s, gate := plugged(t)
+	defer s.close()
+
+	const batchSize, batches = 4, 8
+	const units = batchSize * batches
+	var mu sync.Mutex
+	type step struct {
+		tenant string
+		units  int
+	}
+	var order []step
+	record := func(tenant string, k int) func(context.Context) {
+		return func(ctx context.Context) {
+			mu.Lock()
+			order = append(order, step{tenant, k})
+			mu.Unlock()
+		}
+	}
+	for i := 0; i < batches; i++ {
+		s.enqueueN("batch", 1, batchSize, record("batch", batchSize))
+	}
+	for i := 0; i < units; i++ {
+		s.enqueue("solo", 1, record("solo", 1))
+	}
+	close(gate)
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == batches+units
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	batchUnits, soloUnits := 0, 0
+	for i, st := range order {
+		if st.tenant == "batch" {
+			batchUnits += st.units
+		} else {
+			soloUnits += st.units
+		}
+		if diff := batchUnits - soloUnits; diff > batchSize || diff < -batchSize {
+			t.Fatalf("after dispatch %d unit shares diverged: batch=%d solo=%d", i, batchUnits, soloUnits)
+		}
+	}
+	if batchUnits != units || soloUnits != units {
+		t.Fatalf("drained %d batch units and %d solo units, want %d each", batchUnits, soloUnits, units)
+	}
+}

@@ -230,8 +230,11 @@ func TestCancelledTracedRunDumpsReplayableFlight(t *testing.T) {
 	// at three build-lengths (the pre-sim pipeline is build plus network
 	// setup of comparable cost), and double on each attempt that expired
 	// before the sim started. The sim phase runs several build-lengths, so
-	// doubling cannot step over the mid-sim window; distinct seeds keep the
-	// attempts from sharing a cache key.
+	// doubling cannot step over the mid-sim window. Each attempt uses a
+	// grid width of its own (as well as its own seed) so it pays a fresh
+	// build instead of hitting the process-wide grid cache — the
+	// calibration assumes the request-time build costs what the measured
+	// build cost.
 	const l, w = 2000, 100
 	buildStart := time.Now()
 	if _, err := buildGrid(l, w, false); err != nil {
@@ -243,11 +246,21 @@ func TestCancelledTracedRunDumpsReplayableFlight(t *testing.T) {
 	}
 	var fl *obs.FlightDump
 	var rid string
-	for attempt, mult := 0, int64(3); attempt < 4; attempt, mult = attempt+1, mult*2 {
+	wAttempt := w
+	deadlineMs := buildMs * 3
+	for attempt := 0; attempt < 6; attempt++ {
 		rid = fmt.Sprintf("rid-504-%d", attempt)
+		wAttempt = w + 1 + attempt
 		body504 := fmt.Sprintf(`{"l":%d,"w":%d,"seed":%d,"timeout_ms":%d}`,
-			l, w, 31+attempt, buildMs*mult)
+			l, wAttempt, 31+attempt, deadlineMs)
 		resp := postRun(t, srv, "/v1/run?trace=1", rid, body504)
+		if resp.StatusCode == http.StatusOK {
+			// The whole run fit inside the deadline; shrink it.
+			readAll(t, resp)
+			t.Logf("attempt %d: deadline %dms outlived the run; shrinking", attempt, deadlineMs)
+			deadlineMs = deadlineMs/2 + 1
+			continue
+		}
 		if resp.StatusCode != http.StatusGatewayTimeout {
 			t.Fatalf("attempt %d: status = %d, want 504 (body %q)",
 				attempt, resp.StatusCode, readAll(t, resp))
@@ -268,12 +281,22 @@ func TestCancelledTracedRunDumpsReplayableFlight(t *testing.T) {
 			snap = findTrace(t, srv, rid)
 			return snap != nil && snap.Flight != nil
 		})
-		if snap.Flight.Captured > 0 {
+		if snap.Flight.Captured > 0 && len(snap.Flight.Events) > 0 {
 			fl = snap.Flight
 			break
 		}
-		t.Logf("attempt %d: deadline %dms expired before the sim started; doubling",
-			attempt, buildMs*mult)
+		if snap.Flight.Captured == 0 {
+			t.Logf("attempt %d: deadline %dms expired before the sim started; doubling",
+				attempt, deadlineMs)
+			deadlineMs *= 2
+		} else {
+			// The client saw 504 but the detached flight (same budget,
+			// started later) let the run finish, so no tail was embedded;
+			// a shorter deadline lands mid-sim for both.
+			t.Logf("attempt %d: run outlived the 504 under the detached deadline %dms; shrinking",
+				attempt, deadlineMs)
+			deadlineMs = deadlineMs*2/3 + 1
+		}
 	}
 	if fl == nil {
 		t.Fatal("no attempt cancelled mid-simulation")
@@ -294,7 +317,7 @@ func TestCancelledTracedRunDumpsReplayableFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := grid.MustHex(l, w)
+	h := grid.MustHex(l, wAttempt)
 	aud := &trace.Auditor{G: h.Graph, Plan: fault.NewPlan(h.NumNodes()), Params: core.DefaultParams()}
 	if err := aud.AuditTail(&trace.Recorder{Events: evs}); err != nil {
 		t.Fatalf("offline replay of the flight dump failed the audit: %v", err)

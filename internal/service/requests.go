@@ -21,8 +21,13 @@ import (
 	"repro/internal/sim"
 	"repro/internal/source"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
+
+// aggregateContentType labels HXA1 aggregate bodies; clients decode them
+// with store.DecodeAggregate.
+const aggregateContentType = "application/vnd.hex.aggregate"
 
 // flightTracer adapts a possibly-nil recorder to core.Config.Trace without
 // wrapping a nil pointer in a non-nil interface.
@@ -50,8 +55,10 @@ type RunRequest struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// HexPlus selects the Section 5 augmented topology.
 	HexPlus bool `json:"hex_plus,omitempty"`
-	// Output is "stats" (JSON, default), "csv" (wave CSV), or "svg"
-	// (wave heat map).
+	// Output is "stats" (JSON, default), "csv" (wave CSV), "svg" (wave
+	// heat map), or "agg" (binary HXA1 aggregate record: skew summaries,
+	// event count, and elapsed time only — the campaign mode that skips
+	// the full per-node trigger snapshot).
 	Output string `json:"output,omitempty"`
 	// TimeoutMs is the per-request deadline in milliseconds; 0 uses the
 	// server default, larger values are clamped to the server maximum.
@@ -86,8 +93,8 @@ func (r *RunRequest) Normalize(opts Options) error {
 	if r.Output == "" {
 		r.Output = "stats"
 	}
-	if r.Output != "stats" && r.Output != "csv" && r.Output != "svg" {
-		return fmt.Errorf("output must be one of stats, csv, svg; got %q", r.Output)
+	if r.Output != "stats" && r.Output != "csv" && r.Output != "svg" && r.Output != "agg" {
+		return fmt.Errorf("output must be one of stats, csv, svg, agg; got %q", r.Output)
 	}
 	sc, err := source.Parse(orDefault(r.Scenario, "zero"))
 	if err != nil {
@@ -168,7 +175,7 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*coalesce.Value
 	}
 	tr := obs.FromContext(ctx)
 	endBuild := tr.StartSpan("grid-build")
-	h, err := buildGrid(r.L, r.W, r.HexPlus)
+	h, err := s.buildGrid(r.L, r.W, r.HexPlus)
 	if err != nil {
 		endBuild()
 		return nil, errBadRequest{err}
@@ -210,8 +217,12 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*coalesce.Value
 		Wedges:   s.opts.Wedges,
 		Context:  ctx,
 		Trace:    flightTracer(fr),
+		// Aggregate output needs only each node's first trigger; the
+		// compact snapshot skips the per-node trigger slices entirely.
+		FirstTriggerOnly: r.Output == "agg",
 	})
 	endSim()
+	elapsed := time.Since(start)
 	s.Metrics.SimRuns.Inc()
 	s.Metrics.SimRunSeconds.ObserveDuration(time.Since(start))
 	if res != nil {
@@ -239,6 +250,28 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*coalesce.Value
 	}
 	endEncode := tr.StartSpan("encode")
 	defer endEncode()
+	if r.Output == "agg" {
+		wave := analysis.WaveFromFirstTriggers(h.Graph, res, plan)
+		// One scratch buffer serves both skew vectors: SummarizeScaled
+		// sorts in place and is done with the memory when it returns.
+		// Integer sort + streamed conversion is bit-identical to
+		// Summarize(IntraSkews()) but cheaper, which matters at campaign
+		// rates where these two summaries are a double-digit share of a
+		// small run.
+		skews := make([]sim.Time, 0, 3*h.Graph.NumNodes())
+		intra := stats.SummarizeScaled(wave.AppendIntraSkewTimes(skews), float64(sim.Nanosecond))
+		inter := stats.SummarizeScaled(wave.AppendInterSkewTimes(skews), float64(sim.Nanosecond))
+		agg := &store.Aggregate{
+			Triggered: uint32(wave.TriggeredCount()),
+			Events:    res.Events,
+			Horizon:   res.Horizon,
+			ElapsedNs: uint64(elapsed.Nanoseconds()),
+			IntraSkew: intra,
+			InterSkew: inter,
+		}
+		return &coalesce.Value{Body: store.EncodeAggregate(agg),
+			ContentType: aggregateContentType, Events: res.Events}, nil
+	}
 	wave := analysis.WaveFromResult(h.Graph, res, plan, 0)
 	switch r.Output {
 	case "csv":
@@ -255,8 +288,8 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*coalesce.Value
 		Triggered:   wave.TriggeredCount(),
 		Events:      res.Events,
 		HorizonNs:   res.Horizon.Nanoseconds(),
-		IntraSkewNs: summaryJSON(stats.Summarize(wave.IntraSkews())),
-		InterSkewNs: summaryJSON(stats.Summarize(wave.InterSkews())),
+		IntraSkewNs: summaryJSON(stats.SummarizeScaled(wave.AppendIntraSkewTimes(nil), float64(sim.Nanosecond))),
+		InterSkewNs: summaryJSON(stats.SummarizeScaled(wave.AppendInterSkewTimes(nil), float64(sim.Nanosecond))),
 	}
 	if r.Faults > 0 {
 		resp.FaultType = r.FaultType
@@ -397,12 +430,28 @@ func (s *Service) computeSpec(ctx context.Context, r SpecRequest) (*coalesce.Val
 	return marshalCached(resp, events)
 }
 
-// buildGrid constructs the requested topology.
-func buildGrid(l, w int, plus bool) (*grid.Hex, error) {
-	if plus {
-		return grid.NewHexPlus(l, w)
+// buildGrid returns the requested topology from the process-wide grid
+// cache: every request, sweep unit, and router-fanned unit that agrees on
+// (topology, L, W) shares one immutable grid, built once. Pointer-stable
+// grids also keep the pooled arenas warm (core.Arena keys storage reuse on
+// the topology pointer). It is a variable so the differential test can
+// substitute fresh construction and pin that caching is invisible in the
+// results.
+var buildGrid = func(l, w int, plus bool) (*grid.Hex, error) {
+	return grid.Shared.Build(l, w, plus)
+}
+
+// buildGrid resolves a topology for this service: through the shared cache
+// normally, or freshly constructed when Options.DisableGridCache asks for
+// the uncached baseline cost.
+func (s *Service) buildGrid(l, w int, plus bool) (*grid.Hex, error) {
+	if s.opts.DisableGridCache {
+		if plus {
+			return grid.NewHexPlus(l, w)
+		}
+		return grid.NewHex(l, w)
 	}
-	return grid.NewHex(l, w)
+	return buildGrid(l, w, plus)
 }
 
 // validateGridDims enforces the service-level admission limits.

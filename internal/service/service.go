@@ -90,6 +90,13 @@ type Options struct {
 	// sweeps already saturate cores across runs, so per-run wedges pay off
 	// mainly on large single /v1/run grids.
 	Wedges int
+	// DisableGridCache builds a fresh topology per request instead of
+	// resolving through the process-wide grid cache. It exists as a
+	// fidelity knob for baseline benchmarks that need to measure the
+	// pre-memoization cost of a run, and as an escape hatch should a
+	// cached grid ever be suspected of corruption. Results are identical
+	// either way (the differential test pins this); only cost changes.
+	DisableGridCache bool
 }
 
 // withDefaults fills unset fields.
@@ -251,6 +258,87 @@ func (s *Service) result(ctx context.Context, timeout time.Duration, key string,
 func (s *Service) RunUnit(ctx context.Context, timeout time.Duration, r RunRequest) (*coalesce.Value, error) {
 	return s.result(ctx, timeout, r.CanonicalKey(),
 		func(fctx context.Context) (*coalesce.Value, error) { return s.computeRun(fctx, r) })
+}
+
+// RunUnits executes a batch of normalized RunRequests as ONE scheduled
+// job: one queue slot, one worker, one trace, one store flush. Each unit
+// keeps its canonical per-run key — it hits the memory cache, joins
+// in-flight singles, and reads through the durable store exactly like
+// RunUnit — but units that actually compute run back-to-back on the
+// batch worker's goroutine, so consecutive same-shape runs reuse one hot
+// arena and the shared grid, and their results are persisted in a single
+// group commit (one segment, one fsync window) instead of per-record
+// writes. This is the campaign fast path: per-run fixed costs — queue
+// round-trip, scheduler accounting, trace allocation, two fsyncs — are
+// paid once per batch and amortized k-fold.
+//
+// The returned slices are index-aligned with reqs. A unit failure (bad
+// request, cancellation) is reported in errs[i] without aborting the
+// rest of the batch; once the batch deadline or ctx expires, remaining
+// units fail fast with the context error.
+func (s *Service) RunUnits(ctx context.Context, timeout time.Duration, reqs []RunRequest) ([]*coalesce.Value, []error) {
+	vals := make([]*coalesce.Value, len(reqs))
+	errs := make([]error, len(reqs))
+	if len(reqs) == 0 {
+		return vals, errs
+	}
+	tr := obs.FromContext(ctx)
+	done := make(chan struct{})
+	enqueued := time.Now()
+	job := func() {
+		defer close(done)
+		tr.AddSpan("queue-wait", enqueued, time.Now())
+		// The batch computes on a context detached from the caller (same
+		// lifetime rule as a coalesced flight): it carries the batch
+		// deadline and the caller's trace, but survives the caller
+		// disconnecting so joiners of individual units still get answers.
+		fctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		fctx = obs.WithTrace(fctx, tr)
+		var group []store.Entry
+		for i := range reqs {
+			r := reqs[i]
+			if err := fctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			v, fresh, err := s.coal.DoInline(fctx, r.CanonicalKey(),
+				func(c context.Context) (*coalesce.Value, error) { return s.computeRun(c, r) })
+			vals[i], errs[i] = v, err
+			if fresh && err == nil {
+				group = append(group, store.Entry{
+					Key:         r.CanonicalKey(),
+					ContentType: v.ContentType,
+					Events:      v.Events,
+					Body:        v.Body,
+				})
+			}
+		}
+		s.storePutGroup(group)
+	}
+	if err := s.coal.SubmitDetached(job); err != nil {
+		if errors.Is(err, coalesce.ErrShuttingDown) {
+			err = ErrShuttingDown
+		}
+		for i := range errs {
+			errs[i] = err
+		}
+		return vals, errs
+	}
+	select {
+	case <-done:
+		return vals, errs
+	case <-ctx.Done():
+		// The batch keeps running detached (its results are still
+		// published to the cache and store); this caller stops waiting.
+		// vals/errs stay with the running job — return fresh slices so
+		// the caller never reads memory the batch is still writing.
+		abandoned := make([]error, len(reqs))
+		for i := range abandoned {
+			abandoned[i] = ctx.Err()
+		}
+		return make([]*coalesce.Value, len(reqs)), abandoned
+	}
 }
 
 // Ring returns the service's completed-request trace ring (the one

@@ -55,3 +55,20 @@ func (s *Service) storePut(key string, v *coalesce.Value) {
 	}
 	s.Metrics.StoreBytes.Set(s.store.Bytes())
 }
+
+// storePutGroup persists a batch's fresh results as one group commit:
+// one segment file, one fsync window, every entry individually readable
+// under its own key afterwards. Called by the batch worker after all
+// units finish, so it is the group-commit analog of the write-behind
+// storePut.
+func (s *Service) storePutGroup(entries []store.Entry) {
+	if s.store == nil || len(entries) == 0 {
+		return
+	}
+	if err := s.store.PutGroup(entries); err != nil {
+		s.Metrics.StoreErrors.Inc()
+	} else {
+		s.Metrics.StoreWrites.Add(uint64(len(entries)))
+	}
+	s.Metrics.StoreBytes.Set(s.store.Bytes())
+}

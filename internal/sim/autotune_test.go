@@ -39,11 +39,12 @@ func TestAutoTuneNarrowRegime(t *testing.T) {
 	}
 }
 
-// TestAutoTuneWideRegimeKeepsHint: tuning only ever narrows the buckets.
-// When the observed deltas are wider than the hint (the hint was too
-// optimistic), the hint's shift is kept: the overflow heap already
-// handles far events, and widening would coarsen the common case.
-func TestAutoTuneWideRegimeKeepsHint(t *testing.T) {
+// TestAutoTuneWideRegimeWidens: when the observed deltas overwhelmingly
+// exceed the declared hint — here 100% of pushes sit far past the hint's
+// window span — keeping the hint would route that whole mass through the
+// overflow heap every run. The churn gate (≥ 2% of pushes beyond the
+// declared span) trips and the window widens to cover the observed p99.
+func TestAutoTuneWideRegimeWidens(t *testing.T) {
 	e := NewEngine()
 	e.SetDispatcher(nullDispatcher{})
 	e.SetHorizonHint(1 << 10)
@@ -52,8 +53,48 @@ func TestAutoTuneWideRegimeKeepsHint(t *testing.T) {
 	feedDeltas(e, 1<<24, 2*deltaTuneMinSamples*(deltaSampleMask+1))
 	e.Reset()
 	e.SetHorizonHint(1 << 10)
+	if e.queue.shift <= hintShift {
+		t.Fatalf("all-far workload did not widen: shift %d, hint shift %d",
+			e.queue.shift, hintShift)
+	}
+	// Deltas of 2^24 land in histogram bucket 25 (bucket b holds deltas
+	// < 2^b), so the tuned window must cover 2^25-wide deltas.
+	if want := shiftForDelta(1 << 25); e.queue.shift != want {
+		t.Fatalf("widened shift = %d, want %d", e.queue.shift, want)
+	}
+}
+
+// TestAutoTuneWideTailUnderGateKeepsHint: a far tail that is real enough
+// to drag the p99 past the declared hint but too thin to matter (~1.5% of
+// pushes, below the 2% churn gate) must NOT widen the window. Coarsening
+// the buckets would tax the 98%+ of pushes that fit; the overflow heap
+// absorbs a tail this thin for less than wide buckets would cost. This is
+// the multi-pulse-stabilization shape: sleep timers fit the declared
+// window there, and only a sliver of pushes reach past it.
+func TestAutoTuneWideTailUnderGateKeepsHint(t *testing.T) {
+	e := NewEngine()
+	e.SetDispatcher(nullDispatcher{})
+	e.SetHorizonHint(1 << 10)
+	hintShift := e.queue.shift
+
+	// 200 samples, 3 of them far: the p99 cut (target 198, only 197 near)
+	// lands in the far bucket, but 3/200 = 1.5% is under the 2% gate. The
+	// far pushes are planted at sampled indices (every 16th push is
+	// sampled) so the gate arithmetic is exact.
+	n := 200 * (deltaSampleMask + 1)
+	for i := 0; i < n; i++ {
+		d := Time(900) // fits the 1<<10 hint
+		switch i {
+		case deltaSampleMask, 3*(deltaSampleMask+1) - 1, 5*(deltaSampleMask+1) - 1:
+			d = 1 << 24 // far beyond the hint's window span
+		}
+		e.ScheduleEvent(e.Now()+d, 0, 0, 0)
+		e.RunAll()
+	}
+	e.Reset()
+	e.SetHorizonHint(1 << 10)
 	if e.queue.shift != hintShift {
-		t.Fatalf("wide workload changed shift: %d, want hint %d",
+		t.Fatalf("sub-gate far tail changed shift: %d, want hint %d",
 			e.queue.shift, hintShift)
 	}
 }

@@ -37,6 +37,9 @@ import "slices"
 const (
 	calBuckets = 256 // ring size; power of two
 	calMask    = calBuckets - 1
+	// ringBits is log2(calBuckets): at shift s the ring spans deltas up to
+	// 2^(s+ringBits) ps before events spill to the overflow heap.
+	ringBits = 8
 	// defaultCalShift is the log2 bucket width (in picoseconds) used when
 	// the engine received no SetHorizonHint: ~4.1 ns buckets, ~1 µs span.
 	defaultCalShift = 12
@@ -64,32 +67,102 @@ func (b *calBucket) clear() {
 	b.sorted = 0
 }
 
-// ensureSorted extends the sorted run over any unsorted appends. Appends
-// arrive in seq order, and at values within one bucket are nearly monotone
-// in practice (same-instant bursts are already sorted), so insertion sort
-// is O(n + inversions); large disordered runs fall back to pdqsort.
-func (b *calBucket) ensureSorted() {
+// ensureSorted extends the sorted run over any unsorted appends, using
+// scratch (owned by the queue, reused across buckets) for the merge. The
+// appended run is sorted on its own first — appends arrive in seq order
+// with nearly monotone at values, so insertion sort is O(n + inversions),
+// with a pdqsort fallback for large disordered runs — and then merged
+// with the existing sorted run in one backward pass.
+//
+// The merge is what keeps wide buckets affordable: under a wide window
+// (see Engine.SetHorizonHint) one bucket can hold a whole cascade, and
+// with the cursor parked mid-bucket each freshly appended event belongs
+// near the FRONT of the remaining run. Per-element insertion would scan
+// the whole run per push — quadratic across a campaign run — while the
+// merge pays one O(existing + appended) pass per settle.
+func (b *calBucket) ensureSorted(scratch *[]event) {
 	n := len(b.items)
 	if b.sorted >= n {
 		return
 	}
-	if n-b.sorted > calSortThreshold {
-		slices.SortFunc(b.items[b.head:], func(a, c event) int {
+	run := b.items[b.sorted:]
+	if len(run) > calSortThreshold {
+		slices.SortFunc(run, func(a, c event) int {
 			if before(&a, &c) {
 				return -1
 			}
 			return 1
 		})
 	} else {
-		for i := b.sorted; i < n; i++ {
-			e := b.items[i]
+		for i := 1; i < len(run); i++ {
+			e := run[i]
 			j := i - 1
-			for j >= b.head && before(&e, &b.items[j]) {
-				b.items[j+1] = b.items[j]
+			for j >= 0 && before(&e, &run[j]) {
+				run[j+1] = run[j]
 				j--
 			}
-			b.items[j+1] = e
+			run[j+1] = e
 		}
+	}
+	if b.sorted == b.head || !before(&b.items[b.sorted], &b.items[b.sorted-1]) {
+		b.sorted = n // already one ascending run
+		return
+	}
+	// The runs overlap. Merge in whichever direction touches fewer
+	// elements: a forward merge walks the existing elements below the
+	// run's maximum, a backward merge shifts the ones above its minimum.
+	// One probe against the sorted middle decides: if the run's maximum
+	// sorts below it, the forward walk is under half the run and the
+	// backward shift over half. Under a wide window the cursor parks
+	// mid-bucket and fresh appends are the bucket's EARLIEST pending
+	// events, so the forward walk is typically a handful of elements
+	// while the backward one is the whole run — per-pop, that asymmetry
+	// is the difference between linear and quadratic campaign runs.
+	mid := b.head + (b.sorted-b.head)/2
+	if b.head >= len(run) && before(&run[len(run)-1], &b.items[mid]) {
+		// Forward merge into the consumed prefix: the write pointer w
+		// trails both read pointers (w = ai+bi-len(run) while the run is
+		// unexhausted), so no staging copy is needed; when the run
+		// exhausts, w has caught up to ai exactly and the region is
+		// contiguous with the untouched tail.
+		w := b.head - len(run)
+		ai, bi := b.head, 0
+		for bi < len(run) {
+			if ai < b.sorted && before(&b.items[ai], &run[bi]) {
+				b.items[w] = b.items[ai]
+				ai++
+			} else {
+				b.items[w] = run[bi]
+				bi++
+			}
+			w++
+		}
+		b.head -= len(run)
+		// Vacate the appended slots; their events now live in the merged
+		// region and the copies must not retain closures.
+		for i := b.sorted; i < n; i++ {
+			b.items[i] = event{}
+		}
+		b.items = b.items[:b.sorted]
+		return // b.sorted already bounds the full sorted run
+	}
+	// Backward merge, with the appended run staged in scratch so the
+	// in-place writes cannot clobber unread elements.
+	*scratch = append((*scratch)[:0], run...)
+	sc := *scratch
+	ai, bi := b.sorted-1, len(sc)-1
+	for k := n - 1; bi >= 0; k-- {
+		if ai >= b.head && before(&sc[bi], &b.items[ai]) {
+			b.items[k] = b.items[ai]
+			ai--
+		} else {
+			b.items[k] = sc[bi]
+			bi--
+		}
+	}
+	// Drop the staged copies so closures don't outlive their events.
+	for i := range sc {
+		sc[i] = event{}
 	}
 	b.sorted = n
 }
@@ -104,6 +177,7 @@ type calendarQueue struct {
 	buckets  [calBuckets]calBucket
 	overflow eventQueue // far-future tier; also the fuzz reference impl
 	spill    []event    // scratch for pushSlow window rebuilds
+	merge    []event    // scratch for ensureSorted's backward merge
 }
 
 // Len reports the number of pending events.
@@ -231,7 +305,7 @@ func (q *calendarQueue) settle() *calBucket {
 		q.migrate()
 		bk := &q.buckets[q.cursor&calMask]
 		if bk.head < len(bk.items) {
-			bk.ensureSorted()
+			bk.ensureSorted(&q.merge)
 			return bk
 		}
 		if scanned > calBuckets {

@@ -145,22 +145,23 @@ func (e *Engine) SetBatching(on bool) {
 // effect on execution order, only on queue cost. delta <= 0 selects the
 // default sizing.
 //
-// The hint is an upper bound derived from worst-case parameters; when the
-// engine has observed actual push deltas (a previous run on a reused engine
-// sampled them, see sampleDelta), the bucket width is auto-tuned down to the
-// p99 of the observed distribution instead, so a workload whose deltas are
-// much narrower than the declared bound gets proportionally finer buckets.
-// The percentile cut leaves only true outliers (rare sleep timers, schedule
-// gaps) to the overflow heap, which is built for exactly those.
+// The hint is an estimate derived from the caller's timing parameters; when
+// the engine has observed actual push deltas (a previous run on a reused
+// engine sampled them, see sampleDelta), the bucket width is auto-tuned to
+// the p99 of the observed distribution instead — in either direction. A
+// workload whose deltas are much narrower than the declared bound gets
+// proportionally finer buckets; one whose p99 exceeds the bound (e.g.
+// single-pulse runs, where the per-node sleep timers are a double-digit
+// share of all pushes but far beyond the link-delay scale the hint
+// declares) gets a wider window so that tail stays bucket-resident instead
+// of churning through the overflow heap on every run. Only true outliers
+// beyond the observed p99 take the heap path, which is built for exactly
+// those.
 func (e *Engine) SetHorizonHint(delta Time) {
 	if delta <= 0 {
 		delta = Time(int64(calBuckets) << (defaultCalShift - 1))
 	}
-	shift := shiftForDelta(delta)
-	if tuned, ok := e.consumeTunedShift(); ok && tuned < shift {
-		shift = tuned
-	}
-	e.queue.setShift(shift)
+	e.queue.setShift(e.tuneShift(shiftForDelta(delta)))
 }
 
 // Delta-histogram sampling parameters: every 16th push is measured into a
@@ -188,18 +189,32 @@ func (e *Engine) sampleDelta(at Time) {
 	e.deltaCount++
 }
 
-// consumeTunedShift derives a calendar bucket shift from the sampled push
-// deltas and clears the histogram. It reports false while fewer than
-// deltaTuneMinSamples deltas have been observed.
-func (e *Engine) consumeTunedShift() (uint, bool) {
+// tuneShift reconciles the declared shift with the sampled push-delta
+// histogram and clears it. It returns the declared shift unchanged while
+// fewer than deltaTuneMinSamples deltas have been observed.
+//
+// Narrowing uses the p99 of the log2 histogram: the smallest bucket whose
+// cumulative count covers 99% of the samples. Bucket b holds deltas <
+// 2^b. An earlier cut at p85 looked attractive (finer buckets) but
+// benchmarked slower: the 15% tail went through the overflow heap, whose
+// migrate-back churn on window advance costs far more than coarser
+// buckets do.
+//
+// Widening beyond the declared shift is gated harder, because coarser
+// buckets tax every push with longer in-bucket sort runs: the p99 wanting
+// a wider window is not enough — the histogram must show that ≥ 2% of all
+// pushes fall beyond the declared window's span and would therefore churn
+// through the overflow heap every run. Single-pulse campaign runs are the
+// motivating case: their per-node sleep timers are a double-digit share
+// of pushes but sit orders of magnitude past the link-delay scale the
+// declared bound covers, and widening for them is worth ~30% of the run.
+// Multi-pulse stabilization runs, whose sleep deltas already fit the
+// declared window, keep their fine buckets: their far tail is ~0.2%,
+// under the gate.
+func (e *Engine) tuneShift(declared uint) uint {
 	if e.deltaCount < deltaTuneMinSamples {
-		return 0, false
+		return declared
 	}
-	// p99 of the log2 histogram: the smallest bucket whose cumulative count
-	// covers 99% of the samples. Bucket b holds deltas < 2^b. An earlier cut
-	// at p85 looked attractive (finer buckets) but benchmarked slower: the
-	// 15% tail went through the overflow heap, whose migrate-back churn on
-	// window advance costs far more than coarser buckets do.
 	target := (uint64(e.deltaCount)*99 + 99) / 100
 	var cum uint64
 	b := 0
@@ -209,10 +224,27 @@ func (e *Engine) consumeTunedShift() (uint, bool) {
 			break
 		}
 	}
+	shift := declared
+	switch tuned := shiftForDelta(Time(1) << uint(b)); {
+	case tuned < shift:
+		shift = tuned
+	case tuned > shift:
+		// Histogram bucket i holds deltas < 2^i, and a delta fits the
+		// declared window iff it is under the window's span calBuckets <<
+		// declared = 2^(declared+ringBits); buckets strictly above
+		// declared+ringBits would spill to the overflow heap.
+		var far uint64
+		for i := int(declared) + ringBits + 1; i < deltaHistBuckets; i++ {
+			far += uint64(e.deltaHist[i])
+		}
+		if far*50 >= uint64(e.deltaCount) {
+			shift = tuned
+		}
+	}
 	e.deltaHist = [deltaHistBuckets]uint32{}
 	e.deltaCount = 0
 	e.deltaTick = 0
-	return shiftForDelta(Time(1) << uint(b)), true
+	return shift
 }
 
 // ScheduleEvent schedules a typed event for the engine's Dispatcher at the

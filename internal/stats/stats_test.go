@@ -2,6 +2,8 @@ package stats
 
 import (
 	"math"
+	"math/rand"
+	"slices"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -181,5 +183,103 @@ func TestQuantileSortedAgainstSortCheck(t *testing.T) {
 	sort.Float64s(sorted)
 	if Quantile(xs, 0.5) != QuantileSorted(sorted, 0.5) {
 		t.Error("Quantile disagrees with QuantileSorted")
+	}
+}
+
+// TestSummarizeScaledDifferential pins SummarizeScaled's contract: for any
+// int64 input and positive scale, it equals Summarize over the converted
+// floats bit for bit — not approximately. The integer path only reorders a
+// sort key, never a float operation, so == is the right comparison.
+func TestSummarizeScaledDifferential(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	cases := [][]int64{
+		{},
+		{42},
+		{-5, -5, -5},
+		{1 << 62, -(1 << 62), 0, 999, -999},
+	}
+	for n := 1; n <= 4; n++ { // sizes around the quantile index edges
+		c := make([]int64, n)
+		for i := range c {
+			c[i] = rnd.Int63n(20001) - 10000
+		}
+		cases = append(cases, c)
+	}
+	for i := 0; i < 50; i++ {
+		n := 1 + rnd.Intn(700)
+		c := make([]int64, n)
+		for j := range c {
+			switch rnd.Intn(10) {
+			case 0: // far outlier, sign included
+				c[j] = rnd.Int63() - (1 << 62)
+			case 1: // duplicate-heavy cluster
+				c[j] = int64(rnd.Intn(4)) * 100
+			default: // skew-scale picoseconds
+				c[j] = rnd.Int63n(2_000_000) - 1_000_000
+			}
+		}
+		cases = append(cases, c)
+	}
+	for ci, c := range cases {
+		for _, scale := range []float64{1, 1000, 3.5} {
+			floats := make([]float64, len(c))
+			for i, v := range c {
+				floats[i] = float64(v) / scale
+			}
+			want := Summarize(floats)
+			got := SummarizeScaled(append([]int64(nil), c...), scale)
+			if got != want {
+				t.Errorf("case %d scale %v: SummarizeScaled = %+v, Summarize = %+v", ci, scale, got, want)
+			}
+		}
+	}
+}
+
+// TestSummarizeScaledSortsInPlace documents the in-place contract callers
+// rely on for buffer reuse.
+func TestSummarizeScaledSortsInPlace(t *testing.T) {
+	xs := []int64{3, -1, 2}
+	SummarizeScaled(xs, 1)
+	if !sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] }) {
+		t.Fatalf("input not sorted in place: %v", xs)
+	}
+}
+
+// TestSortKeysAllRegimes drives sortKeys through each of its paths —
+// small-input pdqsort, all-equal early out, 1/2/3 radix passes (odd pass
+// counts exercise the scratch copy-back), and the wide-range fallback —
+// against slices.Sort as the oracle.
+func TestSortKeysAllRegimes(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	spans := []int64{0, 1 << 8, 1 << 14, 1 << 25, 1 << 32, 1 << 60}
+	for _, n := range []int{3, 127, 128, 700, 4096} {
+		for _, span := range spans {
+			xs := make([]int64, n)
+			base := rnd.Int63n(1 << 40)
+			for i := range xs {
+				if span == 0 {
+					xs[i] = base
+				} else {
+					xs[i] = base - span/2 + rnd.Int63n(span)
+				}
+			}
+			want := append([]int64(nil), xs...)
+			slices.Sort(want)
+			sortKeys(xs)
+			if !slices.Equal(xs, want) {
+				t.Fatalf("n=%d span=%d: sortKeys order differs from slices.Sort", n, span)
+			}
+		}
+	}
+	// Negative-heavy input crossing zero (the signed inter-skew shape).
+	xs := make([]int64, 500)
+	for i := range xs {
+		xs[i] = rnd.Int63n(4000) - 2000
+	}
+	want := append([]int64(nil), xs...)
+	slices.Sort(want)
+	sortKeys(xs)
+	if !slices.Equal(xs, want) {
+		t.Fatal("signed input: sortKeys order differs from slices.Sort")
 	}
 }

@@ -36,6 +36,9 @@ func FuzzStoreCodec(f *testing.F) {
 	}))
 	f.Add(EncodeEntry(Entry{}))
 
+	f.Add(EncodeAggregate(&Aggregate{}))
+	f.Add(EncodeAggregate(sampleAggregate()))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if e, err := DecodeEntry(data); err == nil {
 			again := EncodeEntry(e)
@@ -62,6 +65,15 @@ func FuzzStoreCodec(f *testing.F) {
 			}
 			if !resultsEqual(r, r2) {
 				t.Fatal("result round trip lost information")
+			}
+		}
+		if a, err := DecodeAggregate(data); err == nil {
+			again := EncodeAggregate(a)
+			if !bytes.Equal(again, data) {
+				t.Fatalf("aggregate codec not bijective: %d-byte input re-encoded to %d bytes", len(data), len(again))
+			}
+			if _, err := DecodeAggregate(again); err != nil {
+				t.Fatalf("re-decode of re-encoded aggregate failed: %v", err)
 			}
 		}
 	})

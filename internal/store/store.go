@@ -3,6 +3,7 @@ package store
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrTooLarge is returned by Put when a single record exceeds the
@@ -19,7 +21,10 @@ var ErrTooLarge = errors.New("store: record exceeds byte budget")
 
 const (
 	recordSuffix = ".rec"
-	tempSuffix   = ".tmp"
+	// segmentSuffix names group-commit files: several framed records
+	// concatenated back to back, flushed with a single fsync. See PutGroup.
+	segmentSuffix = ".seg"
+	tempSuffix    = ".tmp"
 	// QuarantineDir is the subdirectory corrupt records are moved into.
 	// They are kept (not deleted) so an operator can inspect what went
 	// wrong; nothing under it is ever read back.
@@ -34,21 +39,41 @@ const (
 type Store struct {
 	dir      string
 	maxBytes int64
+	// fsyncs counts fsync syscalls issued since Open (record files,
+	// segment files, and directory syncs alike). The campaign benchmark
+	// reads it to prove group commit's amortization; it is written with
+	// atomics because Put syncs outside the index lock.
+	fsyncs atomic.Uint64
 
-	mu      sync.Mutex
-	entries map[string]*list.Element // key → element holding *record
-	order   *list.List               // front = most recently used
-	bytes   int64
-	// quarantined counts records rejected at scan or read time since
-	// Open; exposed for tests and operator visibility.
+	mu       sync.Mutex
+	entries  map[string]*list.Element // key → element holding *record
+	order    *list.List               // front = most recently used
+	segments map[string]*segment      // segment file name → shared state
+	bytes    int64
+	// quarantined counts quarantine events (rejected record files and
+	// segment tails) since Open; exposed for tests and operator
+	// visibility.
 	quarantined uint64
 }
 
-// record is the index entry for one on-disk file.
+// record is the index entry for one stored record: either a whole .rec
+// file (seg == nil) or a [off, off+size) slice of a shared segment file.
 type record struct {
 	key  string
-	name string // file name within dir
+	name string // file name within dir (the segment's name for segment records)
 	size int64
+	off  int64    // byte offset within the segment file
+	seg  *segment // nil for standalone record files
+}
+
+// segment tracks one group-commit file. Its records evict independently
+// (each has its own index entry and LRU position); the file itself is
+// deleted when the last live record leaves the index. Until then evicted
+// record bytes remain on disk — the byte budget tracks live records, so a
+// segment's disk footprint can transiently exceed its accounted share.
+type segment struct {
+	name string
+	live int
 }
 
 // Open creates or recovers a store rooted at dir. maxBytes bounds the
@@ -67,6 +92,7 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		maxBytes: maxBytes,
 		entries:  make(map[string]*list.Element),
 		order:    list.New(),
+		segments: make(map[string]*segment),
 	}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -101,10 +127,21 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 				rec:   record{key: e.Key, name: name, size: info.Size()},
 				mtime: info.ModTime().UnixNano(),
 			})
+		case strings.HasSuffix(name, segmentSuffix):
+			recs := s.scanSegment(name)
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			for _, rec := range recs {
+				live = append(live, found{rec: rec, mtime: info.ModTime().UnixNano()})
+			}
 		}
 	}
-	// Index oldest-first so the LRU back holds the stalest records.
-	sort.Slice(live, func(i, j int) bool { return live[i].mtime < live[j].mtime })
+	// Index oldest-first so the LRU back holds the stalest records. The
+	// stable sort keeps a segment's records in offset order among
+	// themselves (they share one mtime).
+	sort.SliceStable(live, func(i, j int) bool { return live[i].mtime < live[j].mtime })
 	for _, f := range live {
 		rec := f.rec
 		if old, ok := s.entries[rec.key]; ok {
@@ -114,9 +151,87 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		}
 		s.entries[rec.key] = s.order.PushFront(&rec)
 		s.bytes += rec.size
+		if rec.seg != nil {
+			rec.seg.live++
+		}
+	}
+	// A segment whose every record lost its key to a newer file has no
+	// reason to stay on disk.
+	for name, seg := range s.segments {
+		if seg.live == 0 {
+			os.Remove(filepath.Join(s.dir, name))
+			delete(s.segments, name)
+		}
 	}
 	s.evictLocked()
 	return s, nil
+}
+
+// scanSegment decodes a segment file front to back and returns index
+// entries for its valid prefix. A decode failure mid-file means the tail
+// was torn (a crash between appends and the segment fsync cannot happen —
+// the whole file is staged and renamed — but bit rot and operator
+// truncation can): the valid prefix stays live, the tail is preserved
+// under quarantine, and the file is truncated to the prefix so the next
+// scan is clean. A file whose very first record is bad is quarantined
+// whole, like a corrupt .rec file.
+func (s *Store) scanSegment(name string) []record {
+	path := filepath.Join(s.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	seg := &segment{name: name}
+	var recs []record
+	off := 0
+	for off < len(data) {
+		e, n, err := decodeRecordAt(data[off:])
+		if err != nil {
+			break
+		}
+		recs = append(recs, record{
+			key: e.Key, name: name, size: int64(n), off: int64(off), seg: seg,
+		})
+		off += n
+	}
+	if off < len(data) {
+		// Tail-only quarantine: preserve the undecodable suffix for
+		// inspection, keep the valid prefix serving.
+		s.quarantined++
+		if off == 0 {
+			s.quarantineBytes(name, data)
+			os.Remove(path)
+			return nil
+		}
+		s.quarantineBytes(name+".tail", data[off:])
+		if err := os.Truncate(path, int64(off)); err != nil {
+			// Cannot shrink the file; without a clean prefix boundary on
+			// disk, retire the whole segment rather than risk re-reading
+			// the torn tail.
+			s.quarantineBytes(name, data[:off])
+			os.Remove(path)
+			return nil
+		}
+	}
+	s.segments[name] = seg
+	return recs
+}
+
+// decodeRecordAt decodes one framed record from the head of data,
+// returning the record and the number of bytes it occupied.
+func decodeRecordAt(data []byte) (Entry, int, error) {
+	if len(data) < headerSize {
+		return Entry{}, 0, fmt.Errorf("%w: %d bytes short of a header", ErrCorrupt, len(data))
+	}
+	n := headerSize + int(binary.LittleEndian.Uint32(data[4:8]))
+	if n > len(data) {
+		return Entry{}, 0, fmt.Errorf("%w: record of %d bytes overruns %d remaining", ErrCorrupt, n, len(data))
+	}
+	e, err := DecodeEntry(data[:n])
+	if err != nil {
+		return Entry{}, 0, err
+	}
+	return e, n, nil
 }
 
 // Dir returns the store's root directory.
@@ -142,6 +257,11 @@ func (s *Store) Quarantined() uint64 {
 	defer s.mu.Unlock()
 	return s.quarantined
 }
+
+// Fsyncs returns the number of fsync syscalls issued since Open. One Put
+// costs two (record file + directory); one PutGroup costs two for the
+// whole group — the amortization the campaign benchmark measures.
+func (s *Store) Fsyncs() uint64 { return s.fsyncs.Load() }
 
 // Keys returns the keys of live records that start with prefix, sorted
 // lexicographically (the iteration order of the in-memory index is
@@ -185,12 +305,19 @@ func (s *Store) Get(key string) (e Entry, ok bool, err error) {
 		return Entry{}, false, nil
 	}
 	rec := el.Value.(*record)
-	e, err = s.readRecord(rec.name)
+	e, err = s.readIndexed(rec)
 	if err == nil && e.Key != key {
 		err = fmt.Errorf("%w: record holds key %q, index expected %q", ErrCorrupt, e.Key, key)
 	}
 	if err != nil {
-		s.dropLocked(el, true)
+		if rec.seg != nil {
+			// A segment that fails integrity behind our back is suspect as
+			// a whole: its framing can no longer be trusted, so retire
+			// every record it holds, not just this one.
+			s.quarantineSegmentLocked(rec.seg)
+		} else {
+			s.dropLocked(el, true)
+		}
 		return Entry{}, false, err
 	}
 	s.order.MoveToFront(el)
@@ -210,12 +337,113 @@ func (s *Store) Put(e Entry) error {
 	}
 	name := recordName(e.Key)
 
+	if err := s.writeFile(name, data); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[e.Key]; ok {
+		rec := el.Value.(*record)
+		if rec.seg == nil {
+			// The rename already replaced the file; fix the accounting.
+			s.bytes += int64(len(data)) - rec.size
+			rec.size = int64(len(data))
+			s.order.MoveToFront(el)
+			s.evictLocked()
+			return nil
+		}
+		// The key previously lived inside a segment; retire that slot and
+		// index the fresh standalone record.
+		s.dropLocked(el, false)
+	}
+	s.entries[e.Key] = s.order.PushFront(&record{key: e.Key, name: name, size: int64(len(data))})
+	s.bytes += int64(len(data))
+	s.evictLocked()
+	return nil
+}
+
+// PutGroup durably stores every entry in one group commit: the records
+// are concatenated into a single segment file, staged under a temporary
+// name, flushed with one fsync, and renamed into place — the same
+// crash-safety contract as Put (a kill at any instant leaves either none
+// of the group or all of it under the final name, never a torn file) at
+// two fsyncs per group instead of two per record. Each entry keeps its
+// own canonical key, index slot, and LRU position; lookups are oblivious
+// to which commit a record arrived in.
+//
+// The segment file is content-addressed (named by the hash of its bytes),
+// so re-committing an identical group is idempotent, and distinct groups
+// can never collide on disk.
+func (s *Store) PutGroup(entries []Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if len(entries) == 1 {
+		return s.Put(entries[0])
+	}
+	blobs := make([][]byte, len(entries))
+	var total int64
+	for i, e := range entries {
+		blobs[i] = EncodeEntry(e)
+		if s.maxBytes > 0 && int64(len(blobs[i])) > s.maxBytes {
+			return fmt.Errorf("%w: %d bytes > budget %d (key %s)",
+				ErrTooLarge, len(blobs[i]), s.maxBytes, e.Key)
+		}
+		total += int64(len(blobs[i]))
+	}
+	h := sha256.New()
+	for _, b := range blobs {
+		h.Write(b)
+	}
+	name := hex.EncodeToString(h.Sum(nil)) + segmentSuffix
+	data := make([]byte, 0, total)
+	for _, b := range blobs {
+		data = append(data, b...)
+	}
+	if err := s.writeFile(name, data); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seg, ok := s.segments[name]
+	if !ok {
+		seg = &segment{name: name}
+		s.segments[name] = seg
+	}
+	var off int64
+	for i, e := range entries {
+		size := int64(len(blobs[i]))
+		if el, dup := s.entries[e.Key]; dup {
+			// Replaced by this commit: a prior standalone file, a slot in
+			// another segment, or — for duplicate keys within one group —
+			// the slot indexed a moment ago (last wins, like repeated Put).
+			s.dropLocked(el, false)
+		}
+		s.entries[e.Key] = s.order.PushFront(&record{
+			key: e.Key, name: name, size: size, off: off, seg: seg,
+		})
+		seg.live++
+		s.bytes += size
+		off += size
+	}
+	s.evictLocked()
+	return nil
+}
+
+// writeFile stages data under a temporary name, fsyncs it, renames it to
+// name, and fsyncs the directory — the store's one durable-write
+// protocol, shared by Put and PutGroup.
+func (s *Store) writeFile(name string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, "put-*"+tempSuffix)
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(data); err == nil {
-		err = tmp.Sync()
+		if err = tmp.Sync(); err == nil {
+			s.fsyncs.Add(1)
+		}
 	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
@@ -227,21 +455,9 @@ func (s *Store) Put(e Entry) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	syncDir(s.dir)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.entries[e.Key]; ok {
-		// The rename already replaced the file; fix the accounting.
-		rec := el.Value.(*record)
-		s.bytes += int64(len(data)) - rec.size
-		rec.size = int64(len(data))
-		s.order.MoveToFront(el)
-	} else {
-		s.entries[e.Key] = s.order.PushFront(&record{key: e.Key, name: name, size: int64(len(data))})
-		s.bytes += int64(len(data))
+	if syncDir(s.dir) {
+		s.fsyncs.Add(1)
 	}
-	s.evictLocked()
 	return nil
 }
 
@@ -261,17 +477,56 @@ func (s *Store) evictLocked() {
 }
 
 // dropLocked removes a record from the index and from disk; quarantine
-// preserves the file for inspection instead of deleting it.
+// preserves the bytes for inspection instead of deleting them. A segment
+// record only drops its index slot — the shared file lives until its
+// last record leaves, then is deleted (or moved whole to quarantine when
+// the drop was integrity-motivated).
 func (s *Store) dropLocked(el *list.Element, quarantine bool) {
 	rec := el.Value.(*record)
 	s.order.Remove(el)
 	delete(s.entries, rec.key)
 	s.bytes -= rec.size
+	if rec.seg != nil {
+		rec.seg.live--
+		if rec.seg.live <= 0 {
+			delete(s.segments, rec.seg.name)
+			if quarantine {
+				s.quarantine(rec.seg.name)
+			} else {
+				os.Remove(filepath.Join(s.dir, rec.seg.name))
+			}
+		} else if quarantine {
+			s.quarantined++
+		}
+		return
+	}
 	if quarantine {
 		s.quarantine(rec.name)
 	} else {
 		os.Remove(filepath.Join(s.dir, rec.name))
 	}
+}
+
+// quarantineSegmentLocked retires a whole segment: every index entry
+// pointing into it is dropped and the file is preserved under quarantine.
+// Used when a read-time integrity failure shows the file was mangled
+// behind the store's back, which taints its other records' framing too.
+func (s *Store) quarantineSegmentLocked(seg *segment) {
+	var doomed []*list.Element
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		if el.Value.(*record).seg == seg {
+			doomed = append(doomed, el)
+		}
+	}
+	for _, el := range doomed {
+		rec := el.Value.(*record)
+		s.order.Remove(el)
+		delete(s.entries, rec.key)
+		s.bytes -= rec.size
+		seg.live--
+	}
+	delete(s.segments, seg.name)
+	s.quarantine(seg.name)
 }
 
 // quarantine moves a file into the quarantine subdirectory (best
@@ -297,6 +552,34 @@ func (s *Store) readRecord(name string) (Entry, error) {
 	return DecodeEntry(data)
 }
 
+// readIndexed reads the bytes an index entry points at: the whole file
+// for standalone records, the record's slice for segment records.
+func (s *Store) readIndexed(rec *record) (Entry, error) {
+	if rec.seg == nil {
+		return s.readRecord(rec.name)
+	}
+	f, err := os.Open(filepath.Join(s.dir, rec.seg.name))
+	if err != nil {
+		return Entry{}, err
+	}
+	defer f.Close()
+	buf := make([]byte, rec.size)
+	if _, err := f.ReadAt(buf, rec.off); err != nil {
+		return Entry{}, fmt.Errorf("%w: segment read at %d+%d: %v", ErrCorrupt, rec.off, rec.size, err)
+	}
+	return DecodeEntry(buf)
+}
+
+// quarantineBytes writes raw bytes (a torn segment tail) into the
+// quarantine directory under the given name; best effort.
+func (s *Store) quarantineBytes(name string, data []byte) {
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	os.WriteFile(filepath.Join(qdir, name), data, 0o644)
+}
+
 // recordName maps a key to its file name: the full SHA-256 of the key,
 // so distinct keys can never collide on disk and file names stay valid
 // regardless of what bytes the key contains. The key itself is embedded
@@ -306,14 +589,16 @@ func recordName(key string) string {
 	return hex.EncodeToString(sum[:]) + recordSuffix
 }
 
-// syncDir fsyncs a directory so a completed rename survives power loss.
-// Best effort: some platforms/filesystems reject directory fsync, and a
-// lost rename only costs a recompute.
-func syncDir(dir string) {
+// syncDir fsyncs a directory so a completed rename survives power loss,
+// reporting whether the sync happened. Best effort: some platforms/
+// filesystems reject directory fsync, and a lost rename only costs a
+// recompute.
+func syncDir(dir string) bool {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return false
 	}
-	d.Sync()
+	err = d.Sync()
 	d.Close()
+	return err == nil
 }
