@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-parallel bench bench-json bench-compare obs-overhead fuzz fuzz-parallel fuzz-sweeps prof-parallel vet fmt cover cluster-smoke jobs-smoke campaign-smoke repro examples clean
+.PHONY: all build test test-short race race-parallel bench bench-json bench-compare obs-overhead fuzz fuzz-parallel fuzz-sweeps fuzz-traceparent prof-parallel vet fmt cover cluster-smoke jobs-smoke campaign-smoke otlp-smoke repro examples clean
 
 all: build test
 
@@ -49,16 +49,28 @@ bench-compare:
 # Observability-overhead gate: with no tracer armed, the per-event nil
 # check in the engine must be free. Runs the largest pulse benchmark
 # (tracing disabled — the default) and fails if it regresses more than 3%
-# against the committed baseline on ns/op or events/s.
+# against the committed baseline on ns/op or events/s. The OTLP exporter
+# is compiled into the same binary but disabled (nil *Exporter, the
+# -otlp-endpoint-unset configuration); the sim core touches neither the
+# exporter nor the arm policy, so this gate is exactly the "exporter
+# compiled in but disabled costs <3%" check.
 obs-overhead:
 	$(GO) test -run '^$$' -bench 'BenchmarkPulsePropagation$$/L100_W40$$' \
 		-benchmem -count=6 . | $(GO) run ./cmd/benchjson -out obs_overhead.json
 	$(GO) run ./cmd/benchjson -compare -fail-above 3 $(BENCH_BASELINE) obs_overhead.json
 
 # Differential-fuzz the event queues (calendar vs 4-ary heap vs
-# container/heap) beyond the committed seed corpus.
-fuzz:
+# container/heap) beyond the committed seed corpus, then the W3C
+# traceparent parser/formatter round trip.
+fuzz: fuzz-traceparent
 	$(GO) test -fuzz FuzzEventQueue -fuzztime 30s ./internal/sim
+
+# Fuzz the W3C traceparent codec the fleet stitches traces with:
+# malformed headers must be rejected, accepted headers must round-trip
+# through FormatTraceparent without losing ids.
+fuzz-traceparent:
+	$(GO) test -fuzz FuzzTraceparent -fuzztime 30s ./internal/obs
+	$(GO) test -fuzz FuzzFormatTraceparent -fuzztime 30s ./internal/obs
 
 # Differential-fuzz the three engine arms (serial calendar vs forced 4-ary
 # heap vs P-wedge parallel, P in {2,3,8}) beyond the committed seed corpus.
@@ -123,6 +135,16 @@ campaign-smoke:
 	$(GO) test -race -count=1 -run 'TestGridCache' ./internal/service/
 	$(GO) test -race -count=1 -run 'TestSweepBatched|TestSweepCancellation|TestCancelFinishedJobIsNoOp|TestWFQBatchFairness' ./internal/jobs/
 	$(GO) test -race -count=1 -run 'TestAggregate|TestPutGroup|TestKillBeforeSegmentRename|TestSegment' ./internal/store/
+
+# OTLP-export smoke: the in-process fake collector proves a router-hop
+# sweep exports one stitched trace (job root → unit spans → backend
+# request spans with correct traceparent parentage), that a
+# skew-envelope-violating unit is auto-re-run with the flight recorder
+# armed and its dump attached to the exported span, and that a hung or
+# dead collector only ever drops spans — the serving path never blocks.
+otlp-smoke:
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/obs/export/
+	$(GO) test -race -count=1 -run 'TestFleetStitchedTraceAndArmRerun|TestProxyHopStitching|TestRouterMetricsPrometheusLint' ./internal/cluster/
 
 vet:
 	$(GO) vet ./...

@@ -50,6 +50,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -75,6 +77,12 @@ func main() {
 		sweepUnits   = flag.Int("sweep-max-units", 10000, "largest admissible unit count for one POST /v1/sweeps job")
 		sweepFlight  = flag.Int("sweep-inflight", 0, "sweep units dispatched concurrently into the worker pool (0 = 2x GOMAXPROCS)")
 
+		otlpEndpoint = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL for span export (e.g. http://localhost:4318; empty disables)")
+		otlpQueue    = flag.Int("otlp-queue", 1024, "bounded span-export queue depth; a full queue drops spans rather than blocking the sim path")
+		armOn        = flag.String("arm-on", "", "comma-separated flight-recorder arm predicates: skew|error|audit|slow (empty disables; see DESIGN.md §16)")
+		armSkewPct   = flag.Float64("arm-skew-margin-pct", 0, "arm-on=skew: percent slack over the Theorem-1 envelope before arming")
+		armSlowPct   = flag.Float64("arm-slow-pct", 99, "arm-on=slow: wall-time percentile a run must exceed to arm")
+
 		routerOn       = flag.Bool("router", false, "run as a fleet router: forward to -peers instead of executing locally")
 		peers          = flag.String("peers", "", "comma-separated backend base URLs for -router (e.g. http://n1:8081,http://n2:8081)")
 		healthInterval = flag.Duration("health-interval", 2*time.Second, "router: period of the backend /healthz probe loop")
@@ -96,6 +104,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	armPolicy, err := parseArmPolicy(*armOn, *armSkewPct, *armSlowPct)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hexd: %v\n", err)
+		os.Exit(2)
+	}
+	// nil when -otlp-endpoint is empty; every call site is nil-safe, so
+	// the exporter is always compiled in but costs nothing when off.
+	exporter := export.New(export.Options{Endpoint: *otlpEndpoint, QueueSize: *otlpQueue})
+	if exporter.Enabled() {
+		logger.Info("otlp export enabled", "endpoint", *otlpEndpoint, "queue", *otlpQueue)
+	}
+
 	if *routerOn {
 		runRouter(logger, routerConfig{
 			addr:           *addr,
@@ -106,6 +126,7 @@ func main() {
 			drain:          *drainwindow,
 			sweepUnits:     *sweepUnits,
 			sweepInflight:  *sweepFlight,
+			exporter:       exporter,
 			limits: service.Options{
 				DefaultTimeout: *timeout,
 				MaxTimeout:     *maxTimeout,
@@ -140,6 +161,8 @@ func main() {
 		TraceRing:      *debugRing,
 		FlightEvents:   *flightEvents,
 		Wedges:         nWedges,
+		Exporter:       exporter,
+		Arm:            obs.NewArmer(armPolicy),
 	})
 	// Sweep jobs share the service's store, trace ring, metrics endpoint,
 	// and admission limits; units run through svc.RunUnit, i.e. the same
@@ -152,8 +175,10 @@ func main() {
 		MaxInFlight: *sweepFlight,
 		Logger:      logger,
 		Trace:       svc.Ring(),
+		Exporter:    exporter,
 	})
 	svc.Metrics.AddExtra(mgr.Metrics.WriteText)
+	svc.Metrics.AddExtra(exporter.WriteMetrics)
 	if n, err := mgr.Recover(); err != nil {
 		logger.Error("sweep job recovery failed", "err", err.Error())
 		os.Exit(1)
@@ -209,6 +234,11 @@ func main() {
 	}
 	mgr.Close()
 	svc.Close()
+	// Flush queued spans before exit so the last requests of a drain are
+	// visible in the collector; bounded by whatever drain window remains.
+	if err := exporter.Close(shutdownCtx); err != nil {
+		logger.Warn("otlp drain incomplete", "err", err.Error(), "dropped", exporter.Dropped())
+	}
 	logger.Info("drained, bye")
 }
 

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// parseArmPolicy maps the -arm-on flag (a comma-separated predicate
+// list) plus its tuning flags to an obs.ArmPolicy. An empty list means
+// the policy is disabled and obs.NewArmer returns nil.
+func parseArmPolicy(list string, skewMarginPct, slowPct float64) (obs.ArmPolicy, error) {
+	var p obs.ArmPolicy
+	for _, tok := range strings.Split(list, ",") {
+		switch tok = strings.TrimSpace(tok); tok {
+		case "":
+		case "skew":
+			p.OnSkew = true
+			p.SkewMarginPct = skewMarginPct
+		case "error":
+			p.OnError = true
+		case "audit":
+			p.OnAuditFail = true
+		case "slow":
+			p.OnSlow = true
+			p.SlowPct = slowPct
+		default:
+			return obs.ArmPolicy{}, fmt.Errorf("invalid -arm-on predicate %q: want skew|error|audit|slow", tok)
+		}
+	}
+	return p, nil
+}

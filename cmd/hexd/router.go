@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/jobs"
+	"repro/internal/obs/export"
 	"repro/internal/service"
 )
 
@@ -26,6 +27,7 @@ type routerConfig struct {
 	drain          time.Duration
 	sweepUnits     int
 	sweepInflight  int
+	exporter       *export.Exporter
 	limits         service.Options
 }
 
@@ -50,6 +52,7 @@ func runRouter(logger *slog.Logger, cfg routerConfig) {
 		CacheEntries:   cfg.cacheEntries,
 		TraceRing:      cfg.traceRing,
 		Logger:         logger,
+		Exporter:       cfg.exporter,
 	})
 	if err != nil {
 		logger.Error("router init failed", "err", err.Error())
@@ -66,11 +69,13 @@ func runRouter(logger *slog.Logger, cfg routerConfig) {
 		MaxInFlight: cfg.sweepInflight,
 		Logger:      logger,
 		Trace:       rt.Ring(),
+		Exporter:    cfg.exporter,
 		Retryable: func(err error) bool {
 			return errors.Is(err, service.ErrQueueFull) || errors.Is(err, cluster.ErrBusy)
 		},
 	})
 	rt.Metrics.AddExtra(mgr.Metrics.WriteText)
+	rt.Metrics.AddExtra(cfg.exporter.WriteMetrics)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", rt.Handler())
@@ -103,5 +108,8 @@ func runRouter(logger *slog.Logger, cfg routerConfig) {
 	}
 	mgr.Close()
 	rt.Close()
+	if err := cfg.exporter.Close(shutdownCtx); err != nil {
+		logger.Warn("otlp drain incomplete", "err", err.Error(), "dropped", cfg.exporter.Dropped())
+	}
 	logger.Info("router drained, bye")
 }

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs/export"
+	"repro/internal/promlint"
+	"repro/internal/service"
+)
+
+// TestRouterMetricsPrometheusLint scrapes the router's /metrics page —
+// which aggregates the hexd_cluster_* families with the appended
+// hexd_sweep_* (jobs manager) and hexd_otlp_* (exporter) families — and
+// holds it to the same exposition-format bar as the backend page.
+func TestRouterMetricsPrometheusLint(t *testing.T) {
+	col := &otlpCollector{}
+	colSrv := httptest.NewServer(col.handler())
+	defer colSrv.Close()
+	exp := export.New(export.Options{Endpoint: colSrv.URL, FlushInterval: 20 * time.Millisecond})
+	defer exp.Close(context.Background())
+
+	_, _, srv := sweepFleet(t, 2, service.Options{Exporter: exp}, exp)
+
+	// Real traffic on both planes so the families carry values: one
+	// interactive run through the proxy, one sweep through the manager.
+	resp, body := postRun(t, srv.Client(), srv.URL, `{"l":10,"w":6,"seed":9}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run = %d (%s)", resp.StatusCode, body)
+	}
+	id := submitSweepJSON(t, srv.URL, `{"l":10,"w":6,"scenarios":["iii"],"seed_count":2}`)
+	waitSweepDone(t, srv.URL, id)
+
+	mresp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	types, samples := promlint.Lint(t, string(raw))
+	promlint.RequireFamilies(t, types, map[string]string{
+		"hexd_cluster_requests_total":     "counter",
+		"hexd_cluster_forwards_total":     "counter",
+		"hexd_cluster_peer_up":            "gauge",
+		"hexd_sweep_jobs_submitted_total": "counter",
+		"hexd_sweep_units_done_total":     "counter",
+		"hexd_sweep_units_inflight":       "gauge",
+		"hexd_otlp_exported_total":        "counter",
+		"hexd_otlp_dropped_total":         "counter",
+		"hexd_otlp_retries_total":         "counter",
+		"hexd_otlp_queue_depth":           "gauge",
+	})
+
+	// The traffic above must be visible: forwards happened, units
+	// completed, and (after a flush) spans were exported.
+	value := func(name string) float64 {
+		var total float64
+		for _, s := range samples {
+			if s.Name == name {
+				total += s.Value
+			}
+		}
+		return total
+	}
+	if value("hexd_cluster_forwards_total") == 0 {
+		t.Error("no forwards counted after routed traffic")
+	}
+	if value("hexd_sweep_units_done_total") != 2 {
+		t.Errorf("hexd_sweep_units_done_total = %v, want 2", value("hexd_sweep_units_done_total"))
+	}
+}

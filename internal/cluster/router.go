@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/coalesce"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/service"
 )
 
@@ -65,6 +66,12 @@ type Options struct {
 	// Logger receives the router's structured request log (default
 	// slog.Default()).
 	Logger *slog.Logger
+	// Exporter, when non-nil, receives every completed router trace for
+	// OTLP export; a nil exporter is a valid no-op. Router spans parent
+	// the backend spans they cause (the forwarded traceparent carries the
+	// router trace's span-id), so the collector renders one stitched tree
+	// per fleet request.
+	Exporter *export.Exporter
 	// Client issues forwards and health probes (default: a dedicated
 	// transport with per-peer connection pooling).
 	Client *http.Client
@@ -253,13 +260,16 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request, endpoint 
 		return
 	}
 	// Propagate (or mint) the W3C trace-id: every backend hop of this
-	// request carries it, so /v1/debug/requests correlates fleet-wide.
-	traceID, ok := obs.ParseTraceparent(req.Header.Get(obs.TraceparentHeader))
+	// request carries it, so /v1/debug/requests correlates fleet-wide. An
+	// incoming parent span-id (a tracing-aware client, or another router
+	// tier) parents this router's own span.
+	traceID, parentID, ok := obs.ParseTraceparent(req.Header.Get(obs.TraceparentHeader))
 	if !ok {
 		traceID = obs.NewTraceID()
 	}
 	tr := obs.NewTrace(rid, endpoint)
 	tr.SetTraceID(traceID)
+	tr.SetParentSpanID(parentID)
 
 	req.Body = http.MaxBytesReader(w, req.Body, maxBodyBytes)
 	raw, err := io.ReadAll(req.Body)
@@ -285,7 +295,9 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request, endpoint 
 	if q := req.URL.RawQuery; q != "" {
 		path += "?" + q
 	}
-	tp := obs.FormatTraceparent(traceID)
+	// The forwarded traceparent names THIS trace's span as the parent, so
+	// the backend's span nests under the router hop in the exported tree.
+	tp := obs.FormatTraceparent(traceID, tr.SpanID())
 	val, err := r.coal.Do(ctx, timeout, key, func(fctx context.Context) (*coalesce.Value, error) {
 		return r.forward(fctx, path, key, raw, rid, tp)
 	})
@@ -299,6 +311,7 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request, endpoint 
 	}
 	tr.Finish(status, err)
 	r.ring.Add(tr)
+	r.opts.Exporter.Export(tr)
 	r.logRequest(endpoint, rid, status, time.Since(start), err)
 }
 

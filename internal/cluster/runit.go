@@ -37,7 +37,9 @@ func (r *Router) RunUnit(ctx context.Context, timeout time.Duration, req service
 	r.Metrics.Requests["run"].Inc()
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	tp := obs.FormatTraceparent(traceID)
+	// The caller's trace (a sweep unit's) is the parent of the backend
+	// span this forward causes, stitching job → unit → backend run.
+	tp := obs.FormatTraceparent(traceID, tr.SpanID())
 	return r.coal.Do(ctx, timeout, key, func(fctx context.Context) (*coalesce.Value, error) {
 		return r.forward(fctx, "/v1/run", key, raw, rid, tp)
 	})

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/coalesce"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -91,6 +92,12 @@ type Options struct {
 	// service's queue-full rejection; a router-backed manager adds the
 	// router's own busy sentinel.
 	Retryable func(error) bool
+	// Exporter, when non-nil, receives the completed traces of sweep
+	// units, batches, and the per-job root span for OTLP export. Every
+	// unit of a job shares the job's trace-id and parents under its root
+	// span, so a whole sweep renders as one tree in the collector — and,
+	// through the router, so do the backend hops each unit caused.
+	Exporter *export.Exporter
 }
 
 // withDefaults fills unset fields.
@@ -167,6 +174,13 @@ type Job struct {
 	// Resumed reports the job was re-materialized by Recover.
 	Resumed bool
 
+	// root is the job's own trace: it mints the W3C trace-id every unit
+	// of the job shares, and its span is the parent of every unit span,
+	// so one sweep exports as one tree. Finished (and exported) exactly
+	// once, when the last unit lands.
+	root       *obs.Trace
+	finishOnce sync.Once
+
 	// cancelCtx is done once the job is cancelled; in-flight unit
 	// contexts are derived-from-or-bridged-to it so DELETE interrupts
 	// simulations mid-run, not just queued units.
@@ -189,8 +203,14 @@ type Job struct {
 // newJob materializes a job with every unit pending.
 func newJob(id string, spec SweepSpec, units []Unit, resumed bool) *Job {
 	ctx, cancel := context.WithCancel(context.Background())
+	root := obs.NewTrace(obs.NewRequestID(), "sweep-job")
+	root.SetTraceID(obs.NewTraceID())
+	root.SetAttr("job", id)
+	root.SetAttr("tenant", spec.Tenant)
+	root.SetAttr("units", fmt.Sprintf("%d", len(units)))
 	return &Job{
 		ID:        id,
+		root:      root,
 		Epoch:     obs.NewRequestID(),
 		Spec:      spec,
 		Units:     units,
@@ -505,6 +525,9 @@ func (m *Manager) Cancel(id string) (j *Job, found, cancelled bool) {
 	if m.opts.Store != nil {
 		m.opts.Store.Delete(storeKey(id))
 	}
+	// A cancel with nothing in flight finishes the job on the spot; the
+	// root span must still close and export (no unit completion will).
+	m.finishIfDone(j)
 	m.opts.Logger.Info("sweep cancelled", "job", id, "queued_units", queued)
 	return j, true, true
 }
@@ -616,6 +639,8 @@ func (m *Manager) runUnit(ctx context.Context, j *Job, unit int) {
 	u := j.Units[unit]
 	timeout := service.RequestTimeout(u.Req.TimeoutMs, m.opts.Service)
 	tr := obs.NewTrace(obs.NewRequestID(), "sweep-unit")
+	tr.SetTraceID(j.root.TraceID())
+	tr.SetParentSpanID(j.root.SpanID())
 	tr.SetAttr("job", j.ID)
 	tr.SetAttr("unit", fmt.Sprintf("%d", unit))
 	tr.SetAttr("tenant", j.Spec.Tenant)
@@ -648,6 +673,7 @@ func (m *Manager) runUnit(ctx context.Context, j *Job, unit int) {
 	if m.opts.Trace != nil {
 		m.opts.Trace.Add(tr)
 	}
+	m.opts.Exporter.Export(tr)
 	m.finishIfDone(j)
 }
 
@@ -677,6 +703,8 @@ func (m *Manager) runBatch(ctx context.Context, j *Job, lo, hi int, br BatchRunn
 		timeout = m.opts.Service.MaxTimeout
 	}
 	tr := obs.NewTrace(obs.NewRequestID(), "sweep-batch")
+	tr.SetTraceID(j.root.TraceID())
+	tr.SetParentSpanID(j.root.SpanID())
 	tr.SetAttr("job", j.ID)
 	tr.SetAttr("units", fmt.Sprintf("%d-%d", lo, hi-1))
 	tr.SetAttr("tenant", j.Spec.Tenant)
@@ -713,6 +741,7 @@ func (m *Manager) runBatch(ctx context.Context, j *Job, lo, hi int, br BatchRunn
 	if m.opts.Trace != nil {
 		m.opts.Trace.Add(tr)
 	}
+	m.opts.Exporter.Export(tr)
 	m.finishIfDone(j)
 }
 
@@ -752,6 +781,26 @@ func (m *Manager) finishIfDone(j *Job) {
 		return
 	}
 	_, _, done, failed, cancelled := j.CountsWithCancelled()
+	// Close and export the job's root span exactly once: two units landing
+	// near-simultaneously can both observe Done(), so the root bookkeeping
+	// sits behind its own Once.
+	j.finishOnce.Do(func() {
+		status := 200
+		var err error
+		switch {
+		case j.Cancelled():
+			status = 499
+		case failed > 0:
+			status = 500
+			err = fmt.Errorf("%d of %d units failed", failed, len(j.Units))
+		}
+		j.root.SetAttr("done", fmt.Sprintf("%d", done))
+		j.root.Finish(status, err)
+		if m.opts.Trace != nil {
+			m.opts.Trace.Add(j.root)
+		}
+		m.opts.Exporter.Export(j.root)
+	})
 	if j.Cancelled() {
 		// Cancel already counted the job and deleted its record; the last
 		// in-flight unit only closes the books.

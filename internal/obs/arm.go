@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Capture predicates: instead of arming the flight recorder per-request
+// (?trace=1), an ArmPolicy decides *after* a run completes whether that
+// run deserved event-level forensics — measured skew outside the
+// Theorem-1 envelope, a run error, a failed audit, or an unusually slow
+// wall time. Because the simulation is deterministic (same canonical
+// request ⇒ same event stream), the offending unit can then be re-run
+// with the recorder armed and yields exactly the events the first run
+// would have produced. This is what turns a million-run campaign from a
+// throughput exercise into an instrument: forensics appear for precisely
+// the runs that left the envelope, at zero cost to the ones that didn't.
+
+// ArmPolicy selects which post-run conditions arm the flight recorder.
+// The zero value arms never.
+type ArmPolicy struct {
+	// OnSkew arms when measured intra- or inter-layer skew leaves the
+	// Theorem-1 envelope, widened (or tightened, when negative) by
+	// SkewMarginPct percent. Margin 0 arms on any measured violation of
+	// the proved bound; 25 tolerates up to 25% beyond it; -100 arms on
+	// any skew at all (a test hook, and a way to sample healthy runs).
+	OnSkew        bool
+	SkewMarginPct float64
+
+	// OnError arms when the run finished with an error (cancellation,
+	// deadline, internal failure).
+	OnError bool
+
+	// OnAuditFail arms when a window audit failed. Audits only run when a
+	// recorder was armed, so this predicate fires on the re-run of some
+	// other predicate's trigger, or on requests that pre-armed via
+	// ?trace=1; it exists so such dumps are flagged and exported with
+	// events embedded.
+	OnAuditFail bool
+
+	// OnSlow arms when the run's wall time exceeds the SlowPct-th
+	// percentile of the last armWindow observed wall times, once at least
+	// SlowMinSamples runs have been seen. SlowPct 99 means roughly the
+	// slowest 1% of runs get forensics.
+	OnSlow         bool
+	SlowPct        float64
+	SlowMinSamples int
+}
+
+// Enabled reports whether any predicate can fire.
+func (p ArmPolicy) Enabled() bool {
+	return p.OnSkew || p.OnError || p.OnAuditFail || p.OnSlow
+}
+
+// Outcome is what one completed run presents to the policy. Skew fields
+// are only meaningful when SkewValid is set (aggregate outputs where no
+// wave was reconstructed leave it false).
+type Outcome struct {
+	// Measured skew extremes across all layers of the run's final wave,
+	// and the Theorem-1 bounds they are judged against. Intra-layer skew
+	// is a magnitude; the inter-layer range is signed, judged against the
+	// window [InterLoBound, InterHiBound].
+	SkewValid    bool
+	IntraMax     sim.Time
+	IntraBound   sim.Time
+	InterLo      sim.Time
+	InterHi      sim.Time
+	InterLoBound sim.Time
+	InterHiBound sim.Time
+
+	Err         error
+	AuditFailed bool
+	Elapsed     time.Duration
+}
+
+// armWindow bounds the wall-time ring used for the percentile predicate.
+const armWindow = 512
+
+// Armer evaluates an ArmPolicy against run outcomes. It is safe for
+// concurrent use (sweeps evaluate from many workers) and, like the rest
+// of this package, a nil *Armer is a valid receiver that never arms.
+type Armer struct {
+	policy ArmPolicy
+
+	mu    sync.Mutex
+	times [armWindow]time.Duration
+	next  int
+	n     int
+}
+
+// NewArmer returns an Armer for p, or nil when p arms never — so callers
+// can hold a nil *Armer and skip both evaluation and the skew
+// measurement feeding it.
+func NewArmer(p ArmPolicy) *Armer {
+	if !p.Enabled() {
+		return nil
+	}
+	if p.SlowPct <= 0 || p.SlowPct > 100 {
+		p.SlowPct = 99
+	}
+	if p.SlowMinSamples <= 0 {
+		p.SlowMinSamples = 32
+	}
+	return &Armer{policy: p}
+}
+
+// WantsSkew reports whether the caller should bother measuring skew and
+// filling the Outcome's skew fields.
+func (a *Armer) WantsSkew() bool {
+	return a != nil && a.policy.OnSkew
+}
+
+// Policy returns the policy this Armer evaluates (zero value on nil).
+func (a *Armer) Policy() ArmPolicy {
+	if a == nil {
+		return ArmPolicy{}
+	}
+	return a.policy
+}
+
+// Evaluate judges one completed run. It returns arm=true when any enabled
+// predicate fired, with reason a "+"-joined list of the predicates that
+// did ("skew", "error", "audit", "slow") — the string hexd attaches to
+// the trace note and the exported span.
+func (a *Armer) Evaluate(o Outcome) (reason string, arm bool) {
+	if a == nil {
+		return "", false
+	}
+	var fired []string
+	if a.policy.OnSkew && o.SkewValid && skewViolated(o, a.policy.SkewMarginPct) {
+		fired = append(fired, "skew")
+	}
+	if a.policy.OnError && o.Err != nil {
+		fired = append(fired, "error")
+	}
+	if a.policy.OnAuditFail && o.AuditFailed {
+		fired = append(fired, "audit")
+	}
+	if a.policy.OnSlow && a.slow(o.Elapsed) {
+		fired = append(fired, "slow")
+	}
+	if len(fired) == 0 {
+		return "", false
+	}
+	return strings.Join(fired, "+"), true
+}
+
+// skewViolated applies the margin-widened Theorem-1 envelope. The intra
+// bound scales multiplicatively; the signed inter window widens on each
+// side by marginPct percent of its own width, so a positive margin
+// loosens both directions symmetrically and -100 inverts the window into
+// one almost nothing satisfies.
+func skewViolated(o Outcome, marginPct float64) bool {
+	m := marginPct / 100
+	intraLimit := float64(o.IntraBound) * (1 + m)
+	if float64(o.IntraMax) > intraLimit {
+		return true
+	}
+	width := float64(o.InterHiBound - o.InterLoBound)
+	lo := float64(o.InterLoBound) - m*width
+	hi := float64(o.InterHiBound) + m*width
+	return float64(o.InterLo) < lo || float64(o.InterHi) > hi
+}
+
+// slow records elapsed into the wall-time ring and reports whether it
+// exceeded the SlowPct-th percentile of the *prior* window (the sample
+// never competes against itself). Under-populated windows never arm.
+func (a *Armer) slow(elapsed time.Duration) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	verdict := false
+	if a.n >= a.policy.SlowMinSamples {
+		sorted := make([]time.Duration, a.n)
+		copy(sorted, a.times[:a.n])
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		idx := int(float64(a.n)*a.policy.SlowPct/100+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= a.n {
+			idx = a.n - 1
+		}
+		verdict = elapsed > sorted[idx]
+	}
+	a.times[a.next] = elapsed
+	a.next = (a.next + 1) % armWindow
+	if a.n < armWindow {
+		a.n++
+	}
+	return verdict
+}

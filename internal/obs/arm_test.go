@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNewArmerDisabled(t *testing.T) {
+	if a := NewArmer(ArmPolicy{}); a != nil {
+		t.Fatal("zero policy should yield a nil Armer")
+	}
+	var a *Armer
+	if a.WantsSkew() {
+		t.Fatal("nil Armer wants skew")
+	}
+	if reason, arm := a.Evaluate(Outcome{Err: errors.New("x"), AuditFailed: true}); arm || reason != "" {
+		t.Fatalf("nil Armer armed: %q", reason)
+	}
+	if p := a.Policy(); p.Enabled() {
+		t.Fatal("nil Armer reports an enabled policy")
+	}
+}
+
+func TestArmerErrorAndAuditPredicates(t *testing.T) {
+	a := NewArmer(ArmPolicy{OnError: true, OnAuditFail: true})
+	if reason, arm := a.Evaluate(Outcome{}); arm {
+		t.Fatalf("clean outcome armed: %q", reason)
+	}
+	if reason, arm := a.Evaluate(Outcome{Err: errors.New("deadline")}); !arm || reason != "error" {
+		t.Fatalf("error outcome: arm=%v reason=%q", arm, reason)
+	}
+	if reason, arm := a.Evaluate(Outcome{AuditFailed: true}); !arm || reason != "audit" {
+		t.Fatalf("audit outcome: arm=%v reason=%q", arm, reason)
+	}
+	if reason, arm := a.Evaluate(Outcome{Err: errors.New("x"), AuditFailed: true}); !arm || reason != "error+audit" {
+		t.Fatalf("combined outcome: arm=%v reason=%q", arm, reason)
+	}
+}
+
+func TestArmerSkewMarginMath(t *testing.T) {
+	inEnvelope := Outcome{
+		SkewValid: true,
+		IntraMax:  80, IntraBound: 100,
+		InterLo: 5, InterHi: 15,
+		InterLoBound: 0, InterHiBound: 20,
+	}
+	intraOut := inEnvelope
+	intraOut.IntraMax = 110
+	interOut := inEnvelope
+	interOut.InterHi = 25
+
+	cases := []struct {
+		name   string
+		margin float64
+		o      Outcome
+		arm    bool
+	}{
+		{"within bounds, zero margin", 0, inEnvelope, false},
+		{"intra 10% over, zero margin", 0, intraOut, true},
+		{"intra 10% over, 25% margin", 25, intraOut, false},
+		{"inter above window, zero margin", 0, interOut, true},
+		{"inter above window, 50% margin", 50, interOut, false},
+		{"healthy run, -100 margin (test hook)", -100, inEnvelope, true},
+		{"skew fields not measured", 0, Outcome{SkewValid: false, IntraMax: 1 << 20}, false},
+	}
+	for _, tc := range cases {
+		a := NewArmer(ArmPolicy{OnSkew: true, SkewMarginPct: tc.margin})
+		reason, arm := a.Evaluate(tc.o)
+		if arm != tc.arm {
+			t.Errorf("%s: arm=%v reason=%q, want arm=%v", tc.name, arm, reason, tc.arm)
+		}
+		if arm && reason != "skew" {
+			t.Errorf("%s: reason %q, want skew", tc.name, reason)
+		}
+	}
+}
+
+func TestArmerSlowPercentile(t *testing.T) {
+	a := NewArmer(ArmPolicy{OnSlow: true, SlowPct: 90, SlowMinSamples: 10})
+
+	// Under-populated window: nothing arms, even absurdly slow runs.
+	for i := 0; i < 9; i++ {
+		if _, arm := a.Evaluate(Outcome{Elapsed: time.Hour}); arm {
+			t.Fatalf("armed at sample %d, below SlowMinSamples", i)
+		}
+	}
+	// Fill the window with a uniform baseline.
+	for i := 0; i < 100; i++ {
+		a.Evaluate(Outcome{Elapsed: 10 * time.Millisecond})
+	}
+	if reason, arm := a.Evaluate(Outcome{Elapsed: 10 * time.Millisecond}); arm {
+		t.Fatalf("typical run armed: %q", reason)
+	}
+	if reason, arm := a.Evaluate(Outcome{Elapsed: time.Second}); !arm || reason != "slow" {
+		t.Fatalf("outlier run: arm=%v reason=%q", arm, reason)
+	}
+}
+
+func TestArmerDefaultsClamped(t *testing.T) {
+	a := NewArmer(ArmPolicy{OnSlow: true, SlowPct: 250})
+	if p := a.Policy(); p.SlowPct != 99 || p.SlowMinSamples != 32 {
+		t.Fatalf("defaults not applied: pct=%v min=%d", p.SlowPct, p.SlowMinSamples)
+	}
+}

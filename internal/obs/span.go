@@ -66,6 +66,8 @@ type Trace struct {
 	mu           sync.Mutex
 	id           string
 	traceID      string
+	spanID       string
+	parentSpanID string
 	endpoint     string
 	start        time.Time
 	spans        []Span
@@ -87,9 +89,11 @@ type Span struct {
 	End   time.Duration
 }
 
-// NewTrace starts a trace for one request.
+// NewTrace starts a trace for one request. Every trace is born with its
+// own W3C span-id so that downstream hops (router→backend, job→unit) can
+// name it as their parent.
 func NewTrace(id, endpoint string) *Trace {
-	return &Trace{id: id, endpoint: endpoint, start: time.Now()}
+	return &Trace{id: id, endpoint: endpoint, spanID: NewSpanID(), start: time.Now()}
 }
 
 // ID returns the request ID ("" on a nil trace).
@@ -119,6 +123,41 @@ func (t *Trace) TraceID() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.traceID
+}
+
+// SpanID returns this trace's own W3C span-id (16 hex chars, minted at
+// NewTrace; "" on a nil trace). Senders put it in the traceparent header
+// so the receiving hop's span parents under this one.
+func (t *Trace) SpanID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spanID
+}
+
+// SetParentSpanID records the span-id of the hop that caused this request
+// (from an incoming traceparent header or an enclosing job trace), linking
+// this trace into the fleet-wide tree the OTLP exporter emits.
+func (t *Trace) SetParentSpanID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.parentSpanID = id
+}
+
+// ParentSpanID returns the recorded parent span-id ("" when this trace is
+// a root).
+func (t *Trace) ParentSpanID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.parentSpanID
 }
 
 // StartSpan begins a named stage and returns the function that ends it.
@@ -209,6 +248,8 @@ func (t *Trace) Finish(status int, err error) {
 type TraceSnapshot struct {
 	ID           string            `json:"id"`
 	TraceID      string            `json:"trace_id,omitempty"`
+	SpanID       string            `json:"span_id,omitempty"`
+	ParentSpanID string            `json:"parent_span_id,omitempty"`
 	Endpoint     string            `json:"endpoint"`
 	Start        time.Time         `json:"start"`
 	DurationMs   float64           `json:"duration_ms"`
@@ -240,6 +281,8 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	snap := TraceSnapshot{
 		ID:           t.id,
 		TraceID:      t.traceID,
+		SpanID:       t.spanID,
+		ParentSpanID: t.parentSpanID,
 		Endpoint:     t.endpoint,
 		Start:        t.start,
 		DurationMs:   float64(t.duration) / float64(time.Millisecond),

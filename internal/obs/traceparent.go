@@ -6,11 +6,13 @@ import (
 )
 
 // W3C Trace Context (https://www.w3.org/TR/trace-context/) support, the
-// minimum needed for fleet-wide request correlation: the cluster router
-// mints (or propagates) a trace-id and sends a traceparent header on
-// every router→backend hop; each backend stamps the trace-id onto its
-// own request trace, so GET /v1/debug/requests on every node of the
-// fleet shows the same trace_id for one logical request.
+// minimum needed for fleet-wide request correlation and trace stitching:
+// the cluster router mints (or propagates) a trace-id and sends a
+// traceparent header on every router→backend hop; each backend stamps the
+// trace-id and the sender's span-id (the parent) onto its own request
+// trace, so GET /v1/debug/requests on every node of the fleet shows the
+// same trace_id for one logical request, and the OTLP exporter can render
+// the hops as one parent-linked tree in an external collector.
 
 // TraceparentHeader is the canonical header name (lower-case per spec;
 // net/http canonicalizes on the wire).
@@ -20,31 +22,39 @@ const TraceparentHeader = "traceparent"
 // 2-hex flags, dash-separated.
 const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
 
-// ParseTraceparent extracts the trace-id from a version-00 traceparent
-// header value. ok is false for malformed values, for unknown versions,
-// and for the all-zero trace-id the spec forbids.
-func ParseTraceparent(h string) (traceID string, ok bool) {
+// ParseTraceparent extracts the trace-id and parent span-id from a
+// version-00 traceparent header value. ok is false for malformed values,
+// for unknown versions, and for the all-zero ids the spec forbids.
+func ParseTraceparent(h string) (traceID, parentID string, ok bool) {
 	if len(h) != traceparentLen || h[0:3] != "00-" || h[35] != '-' || h[52] != '-' {
-		return "", false
+		return "", "", false
 	}
 	tid, pid, flags := h[3:35], h[36:52], h[53:55]
 	if !lowerHex(tid) || !lowerHex(pid) || !lowerHex(flags) {
-		return "", false
+		return "", "", false
 	}
 	if tid == "00000000000000000000000000000000" || pid == "0000000000000000" {
-		return "", false
+		return "", "", false
 	}
-	return tid, true
+	return tid, pid, true
 }
 
 // FormatTraceparent renders a version-00 traceparent value with the
-// sampled flag set, minting a fresh parent (span) id for this hop.
-func FormatTraceparent(traceID string) string {
-	return "00-" + traceID + "-" + randHex(8) + "-01"
+// sampled flag set. parentID is the span-id of the sending hop (16 hex
+// chars, typically Trace.SpanID()); callers with no span of their own may
+// pass "" to mint a fresh one, at the cost of an unparented hop.
+func FormatTraceparent(traceID, parentID string) string {
+	if len(parentID) != 16 || !lowerHex(parentID) {
+		parentID = NewSpanID()
+	}
+	return "00-" + traceID + "-" + parentID + "-01"
 }
 
 // NewTraceID returns a fresh random 32-hex-character trace-id.
 func NewTraceID() string { return randHex(16) }
+
+// NewSpanID returns a fresh random 16-hex-character span-id.
+func NewSpanID() string { return randHex(8) }
 
 // randHex returns 2n random lower-case hex characters. Like
 // NewRequestID, it degrades to zeros if the system entropy source fails;

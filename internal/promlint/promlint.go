@@ -1,0 +1,171 @@
+// Package promlint lints the Prometheus text exposition format our
+// /metrics endpoints emit. It is a test helper shared by the service,
+// cluster, and jobs scrape tests: one strict parser and one generic
+// conformance pass (families declared, HELP present, counters end in
+// _total, histogram buckets cumulative with +Inf == _count), so every
+// metrics page in the repo is held to the same bar.
+package promlint
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Sample is one parsed exposition sample line.
+type Sample struct {
+	Name   string
+	Labels string // raw label block without braces, "" when unlabeled
+	Value  float64
+}
+
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$`)
+
+// Parse parses the text exposition format strictly enough to lint our
+// own output: it returns the TYPE declarations, the HELP declarations,
+// and the samples in emission order, failing the test on any line it
+// cannot account for.
+func Parse(t *testing.T, text string) (types, helps map[string]string, samples []Sample) {
+	t.Helper()
+	types = make(map[string]string)
+	helps = make(map[string]string)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[f[2]] = f[3]
+		case strings.HasPrefix(line, "# HELP "):
+			f := strings.SplitN(line, " ", 4)
+			if len(f) != 4 || f[3] == "" {
+				t.Fatalf("malformed or empty HELP line: %q", line)
+			}
+			helps[f[2]] = f[3]
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unknown comment line: %q", line)
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("unparseable sample line: %q", line)
+			}
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				t.Fatalf("bad sample value in %q: %v", line, err)
+			}
+			samples = append(samples, Sample{Name: m[1], Labels: m[2], Value: v})
+		}
+	}
+	return types, helps, samples
+}
+
+// FamilyOf resolves a sample name to its declared family, accounting for
+// the _bucket/_sum/_count series of histograms.
+func FamilyOf(name string, types map[string]string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// StripLE removes the le label from a bucket's label block, yielding the
+// label set shared with the family's _sum and _count series.
+func StripLE(labels string) string {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return labels
+	}
+	return strings.TrimSuffix(labels[:i], ",")
+}
+
+// Lint parses text and applies the conformance checks every hexd metrics
+// page must pass: each sample belongs to a declared family, each family
+// has HELP text, a known type, and at least one sample, counters follow
+// the _total convention, and histogram buckets are cumulative with a
+// +Inf bucket equal to _count. It returns the parse results so callers
+// can add page-specific assertions (which families must exist, which
+// histograms must have observations).
+func Lint(t *testing.T, text string) (types map[string]string, samples []Sample) {
+	t.Helper()
+	types, helps, samples := Parse(t, text)
+
+	seen := make(map[string]bool)
+	for _, smp := range samples {
+		fam, ok := FamilyOf(smp.Name, types)
+		if !ok {
+			t.Errorf("sample %s has no TYPE declaration", smp.Name)
+			continue
+		}
+		seen[fam] = true
+	}
+	for fam, typ := range types {
+		if typ != "counter" && typ != "gauge" && typ != "histogram" {
+			t.Errorf("family %s has unknown type %q", fam, typ)
+		}
+		if helps[fam] == "" {
+			t.Errorf("family %s has no HELP text", fam)
+		}
+		if !seen[fam] {
+			t.Errorf("family %s declared but never sampled", fam)
+		}
+		if typ == "counter" && !strings.HasSuffix(fam, "_total") {
+			t.Errorf("counter %s does not end in _total", fam)
+		}
+	}
+
+	type key struct{ fam, labels string }
+	lastBucket := make(map[key]float64)
+	infBucket := make(map[key]float64)
+	counts := make(map[key]float64)
+	for _, smp := range samples {
+		fam, _ := FamilyOf(smp.Name, types)
+		if types[fam] != "histogram" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(smp.Name, "_bucket"):
+			k := key{fam, StripLE(smp.Labels)}
+			if smp.Value < lastBucket[k] {
+				t.Errorf("%s{%s}: bucket counts not cumulative", fam, smp.Labels)
+			}
+			lastBucket[k] = smp.Value
+			if strings.Contains(smp.Labels, `le="+Inf"`) {
+				infBucket[k] = smp.Value
+			}
+		case strings.HasSuffix(smp.Name, "_count"):
+			counts[key{fam, smp.Labels}] = smp.Value
+		}
+	}
+	for k, c := range counts {
+		inf, ok := infBucket[k]
+		if !ok {
+			t.Errorf("%s{%s}: no +Inf bucket", k.fam, k.labels)
+			continue
+		}
+		if inf != c {
+			t.Errorf("%s{%s}: +Inf bucket %v != count %v", k.fam, k.labels, inf, c)
+		}
+	}
+	return types, samples
+}
+
+// RequireFamilies asserts that each named family is declared on the page
+// with the given type ("counter", "gauge", "histogram").
+func RequireFamilies(t *testing.T, types map[string]string, want map[string]string) {
+	t.Helper()
+	for fam, typ := range want {
+		if got, ok := types[fam]; !ok {
+			t.Errorf("family %s missing from metrics page", fam)
+		} else if got != typ {
+			t.Errorf("family %s has type %q, want %q", fam, got, typ)
+		}
+	}
+}

@@ -75,9 +75,11 @@ func (s *Service) serve(w http.ResponseWriter, r *http.Request, endpoint, rid st
 	// A W3C traceparent (forwarded by the cluster router, or sent by any
 	// tracing-aware client) correlates this node's trace with the
 	// fleet-wide one: every node serving a hop of the same request shows
-	// the same trace_id in /v1/debug/requests.
-	if tid, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+	// the same trace_id in /v1/debug/requests, and the sender's span-id
+	// parents this trace so the OTLP export stitches into one tree.
+	if tid, pid, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
 		tr.SetTraceID(tid)
+		tr.SetParentSpanID(pid)
 	}
 	timeout := RequestTimeout(timeoutMs, s.opts)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
@@ -93,6 +95,7 @@ func (s *Service) serve(w http.ResponseWriter, r *http.Request, endpoint, rid st
 	}
 	tr.Finish(status, err)
 	s.ring.Add(tr)
+	s.opts.Exporter.Export(tr)
 	s.logRequest(endpoint, rid, status, time.Since(start), err)
 }
 

@@ -114,6 +114,10 @@ type Metrics struct {
 	// SimEvents accumulates sim.Engine.Executed over all runs, including
 	// the partial event counts of cancelled runs.
 	SimEvents *Counter
+	// ArmTriggered counts runs whose outcome tripped the arm policy;
+	// ArmReruns counts the deterministic recorder-armed re-runs it caused
+	// (a pre-armed run trips without a re-run, as can an expired deadline).
+	ArmTriggered, ArmReruns *Counter
 	// StoreHits counts memory-cache misses answered from the durable
 	// store; StoreWrites counts records persisted; StoreErrors counts
 	// failed store reads/writes (corrupt records quarantined at read
@@ -167,6 +171,8 @@ func NewMetrics(endpoints ...string) *Metrics {
 		DeadlineExceeded:  &Counter{},
 		SimRuns:           &Counter{},
 		SimEvents:         &Counter{},
+		ArmTriggered:      &Counter{},
+		ArmReruns:         &Counter{},
 		StoreHits:         &Counter{},
 		StoreWrites:       &Counter{},
 		StoreErrors:       &Counter{},
@@ -260,6 +266,8 @@ func (m *Metrics) WriteText(w io.Writer) {
 	writeCounter(w, "hexd_deadline_exceeded_total", "Requests that missed their deadline.", m.DeadlineExceeded)
 	writeCounter(w, "hexd_sim_runs_total", "Simulations actually executed (post-cache, post-dedup).", m.SimRuns)
 	writeCounter(w, "hexd_sim_events_total", "Simulation events executed, including cancelled runs.", m.SimEvents)
+	writeCounter(w, "hexd_arm_triggered_total", "Runs whose outcome tripped the flight-recorder arm policy.", m.ArmTriggered)
+	writeCounter(w, "hexd_arm_reruns_total", "Recorder-armed deterministic re-runs caused by the arm policy.", m.ArmReruns)
 	writeGauge(w, "hexd_events_per_sec", "Simulation hot-loop throughput, EWMA over ~1 minute.", m.EventsPerSec.Value())
 	writeCounter(w, "hexd_store_hits_total", "Cache misses answered from the durable store.", m.StoreHits)
 	writeCounter(w, "hexd_store_writes_total", "Records persisted to the durable store.", m.StoreWrites)

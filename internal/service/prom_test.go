@@ -4,88 +4,16 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
-	"regexp"
-	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/promlint"
 )
 
-// promSample is one parsed exposition sample line.
-type promSample struct {
-	name   string
-	labels string // raw label block without braces, "" when unlabeled
-	value  float64
-}
-
-// parseProm parses the Prometheus text exposition format strictly enough to
-// lint our own output: it returns the TYPE declarations, the HELP
-// declarations, and the samples in emission order, failing the test on any
-// line it cannot account for.
-func parseProm(t *testing.T, text string) (types, helps map[string]string, samples []promSample) {
-	t.Helper()
-	types = make(map[string]string)
-	helps = make(map[string]string)
-	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$`)
-	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
-		switch {
-		case strings.HasPrefix(line, "# TYPE "):
-			f := strings.Fields(line)
-			if len(f) != 4 {
-				t.Fatalf("malformed TYPE line: %q", line)
-			}
-			types[f[2]] = f[3]
-		case strings.HasPrefix(line, "# HELP "):
-			f := strings.SplitN(line, " ", 4)
-			if len(f) != 4 || f[3] == "" {
-				t.Fatalf("malformed or empty HELP line: %q", line)
-			}
-			helps[f[2]] = f[3]
-		case strings.HasPrefix(line, "#"):
-			t.Fatalf("unknown comment line: %q", line)
-		default:
-			m := sampleRe.FindStringSubmatch(line)
-			if m == nil {
-				t.Fatalf("unparseable sample line: %q", line)
-			}
-			v, err := strconv.ParseFloat(m[3], 64)
-			if err != nil {
-				t.Fatalf("bad sample value in %q: %v", line, err)
-			}
-			samples = append(samples, promSample{name: m[1], labels: m[2], value: v})
-		}
-	}
-	return types, helps, samples
-}
-
-// familyOf resolves a sample name to its declared family, accounting for the
-// _bucket/_sum/_count series of histograms.
-func familyOf(name string, types map[string]string) (string, bool) {
-	if _, ok := types[name]; ok {
-		return name, true
-	}
-	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-		base := strings.TrimSuffix(name, suffix)
-		if base != name && types[base] == "histogram" {
-			return base, true
-		}
-	}
-	return "", false
-}
-
-// stripLE removes the le label from a bucket's label block, yielding the
-// label set shared with the family's _sum and _count series.
-func stripLE(labels string) string {
-	i := strings.Index(labels, `le="`)
-	if i < 0 {
-		return labels
-	}
-	return strings.TrimSuffix(labels[:i], ",")
-}
-
 // TestMetricsPrometheusRoundTrip scrapes /metrics after real traffic and
-// re-parses the output: every sample belongs to a declared family with HELP
-// text, counters follow the _total convention, histogram buckets are
-// cumulative with +Inf equal to _count, at least two histogram families have
+// re-parses the output through the shared lint pass (declared families,
+// HELP text, counter naming, cumulative buckets, +Inf == _count), then
+// adds the service-specific checks: the request and sim histograms carry
 // observations, and a second scrape emits the identical series in the
 // identical order (no label-order drift).
 func TestMetricsPrometheusRoundTrip(t *testing.T) {
@@ -117,76 +45,29 @@ func TestMetricsPrometheusRoundTrip(t *testing.T) {
 	}
 
 	text := scrape()
-	types, helps, samples := parseProm(t, text)
+	types, samples := promlint.Lint(t, text)
+	promlint.RequireFamilies(t, types, map[string]string{
+		"hexd_request_seconds":     "histogram",
+		"hexd_sim_run_events":      "histogram",
+		"hexd_arm_triggered_total": "counter",
+		"hexd_arm_reruns_total":    "counter",
+	})
 
-	// Every declared family has HELP, a known type, and at least one sample.
-	seen := make(map[string]bool)
+	// At least two histogram families carry real observations.
+	counts := make(map[string]float64)
 	for _, smp := range samples {
-		fam, ok := familyOf(smp.name, types)
-		if !ok {
-			t.Errorf("sample %s has no TYPE declaration", smp.name)
-			continue
-		}
-		seen[fam] = true
-	}
-	for fam, typ := range types {
-		if typ != "counter" && typ != "gauge" && typ != "histogram" {
-			t.Errorf("family %s has unknown type %q", fam, typ)
-		}
-		if helps[fam] == "" {
-			t.Errorf("family %s has no HELP text", fam)
-		}
-		if !seen[fam] {
-			t.Errorf("family %s declared but never sampled", fam)
-		}
-		if typ == "counter" && !strings.HasSuffix(fam, "_total") {
-			t.Errorf("counter %s does not end in _total", fam)
-		}
-	}
-
-	// Histogram series: buckets cumulative, +Inf present and equal to _count.
-	type key struct{ fam, labels string }
-	lastBucket := make(map[key]float64)
-	infBucket := make(map[key]float64)
-	counts := make(map[key]float64)
-	for _, smp := range samples {
-		fam, _ := familyOf(smp.name, types)
-		if types[fam] != "histogram" {
-			continue
-		}
-		switch {
-		case strings.HasSuffix(smp.name, "_bucket"):
-			k := key{fam, stripLE(smp.labels)}
-			if smp.value < lastBucket[k] {
-				t.Errorf("%s{%s}: bucket counts not cumulative", fam, smp.labels)
-			}
-			lastBucket[k] = smp.value
-			if strings.Contains(smp.labels, `le="+Inf"`) {
-				infBucket[k] = smp.value
-			}
-		case strings.HasSuffix(smp.name, "_count"):
-			counts[key{fam, smp.labels}] = smp.value
+		if fam, _ := promlint.FamilyOf(smp.Name, types); types[fam] == "histogram" &&
+			strings.HasSuffix(smp.Name, "_count") {
+			counts[fam] += smp.Value
 		}
 	}
 	if len(counts) == 0 {
 		t.Fatal("no histogram _count series found")
 	}
-	for k, c := range counts {
-		inf, ok := infBucket[k]
-		if !ok {
-			t.Errorf("%s{%s}: no +Inf bucket", k.fam, k.labels)
-			continue
-		}
-		if inf != c {
-			t.Errorf("%s{%s}: +Inf bucket %v != count %v", k.fam, k.labels, inf, c)
-		}
-	}
-
-	// At least two histogram families carry real observations.
 	observed := make(map[string]bool)
-	for k, c := range counts {
+	for fam, c := range counts {
 		if c > 0 {
-			observed[k.fam] = true
+			observed[fam] = true
 		}
 	}
 	if len(observed) < 2 {
@@ -199,14 +80,14 @@ func TestMetricsPrometheusRoundTrip(t *testing.T) {
 	}
 
 	// A second scrape serves the identical series in the identical order.
-	series := func(smps []promSample) []string {
+	series := func(smps []promlint.Sample) []string {
 		out := make([]string, len(smps))
 		for i, s := range smps {
-			out[i] = s.name + "{" + s.labels + "}"
+			out[i] = s.Name + "{" + s.Labels + "}"
 		}
 		return out
 	}
-	_, _, again := parseProm(t, scrape())
+	_, _, again := promlint.Parse(t, scrape())
 	if !reflect.DeepEqual(series(samples), series(again)) {
 		t.Fatal("series order drifted between scrapes")
 	}

@@ -230,12 +230,13 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*coalesce.Value
 		s.Metrics.SimRunEvents.Observe(float64(res.Events))
 		s.Metrics.RecordThroughput(res.Events, time.Since(start))
 	}
+	var dump *obs.FlightDump
 	if fr != nil {
 		// Audit the captured window against this run's own topology and
 		// fault plan; embed the raw events only for failed runs (they are
 		// the post-mortem payload) or when the audit itself failed.
 		aud := &trace.Auditor{G: h.Graph, Plan: plan, Params: params}
-		dump := obs.NewFlightDump(fr, aud, err != nil)
+		dump = obs.NewFlightDump(fr, aud, err != nil)
 		tr.SetFlight(dump)
 		if !dump.AuditOK {
 			s.opts.Logger.Warn("flight-recorder audit failed",
@@ -245,13 +246,24 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*coalesce.Value
 				"dropped", dump.Dropped)
 		}
 	}
+	// The wave serves both the output encoders below and the arm policy's
+	// skew predicate; reconstruct it once. Failed runs have no wave (the
+	// policy can still arm on the error itself).
+	var wave *analysis.Wave
+	if err == nil {
+		if r.Output == "agg" {
+			wave = analysis.WaveFromFirstTriggers(h.Graph, res, plan)
+		} else {
+			wave = analysis.WaveFromResult(h.Graph, res, plan, 0)
+		}
+	}
+	s.evaluateArm(ctx, tr, r, h, plan, params, offsets, wave, fr, dump, err, elapsed)
 	if err != nil {
 		return nil, err
 	}
 	endEncode := tr.StartSpan("encode")
 	defer endEncode()
 	if r.Output == "agg" {
-		wave := analysis.WaveFromFirstTriggers(h.Graph, res, plan)
 		// One scratch buffer serves both skew vectors: SummarizeScaled
 		// sorts in place and is done with the memory when it returns.
 		// Integer sort + streamed conversion is bit-identical to
@@ -272,7 +284,6 @@ func (s *Service) computeRun(ctx context.Context, r RunRequest) (*coalesce.Value
 		return &coalesce.Value{Body: store.EncodeAggregate(agg),
 			ContentType: aggregateContentType, Events: res.Events}, nil
 	}
-	wave := analysis.WaveFromResult(h.Graph, res, plan, 0)
 	switch r.Output {
 	case "csv":
 		return &coalesce.Value{Body: []byte(render.WaveCSV(wave, h)),

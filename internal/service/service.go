@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/coalesce"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/store"
 )
 
@@ -90,6 +91,16 @@ type Options struct {
 	// sweeps already saturate cores across runs, so per-run wedges pay off
 	// mainly on large single /v1/run grids.
 	Wedges int
+	// Exporter, when non-nil, receives every completed request trace for
+	// OTLP export (hexd -otlp-endpoint). A nil exporter is a valid no-op,
+	// so the serving path is identical with exporting disabled.
+	Exporter *export.Exporter
+	// Arm evaluates post-run capture predicates (obs.ArmPolicy): when a
+	// run's outcome trips one — skew outside the Theorem-1 envelope, an
+	// error, a failed audit, an outlier wall time — the unit is re-run
+	// with the flight recorder armed and the dump attached to its trace.
+	// nil (the default) disables predicate-armed capture.
+	Arm *obs.Armer
 	// DisableGridCache builds a fresh topology per request instead of
 	// resolving through the process-wide grid cache. It exists as a
 	// fidelity knob for baseline benchmarks that need to measure the
